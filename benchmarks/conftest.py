@@ -1,0 +1,22 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper: it runs
+the corresponding experiment driver under pytest-benchmark and prints the rows
+/ series the paper reports, so `pytest benchmarks/ --benchmark-only -s` doubles
+as the reproduction script.
+"""
+
+import pytest
+
+
+def print_result(title: str, text: str) -> None:
+    """Print a reproduction table beneath a recognisable banner."""
+    banner = "=" * len(title)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}")
+
+
+@pytest.fixture(scope="session")
+def llama_profile():
+    from repro.workloads import profile_model
+
+    return profile_model("Llama7B")

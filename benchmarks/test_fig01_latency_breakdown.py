@@ -1,0 +1,20 @@
+"""E1 / Fig. 1(a): end-to-end latency breakdown on the GPU vs prompt length."""
+
+from repro.eval import format_table, latency_breakdown_vs_prompt
+
+from .conftest import print_result
+
+PROMPT_LENS = (1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
+
+
+def test_fig01_latency_breakdown(benchmark):
+    rows = benchmark(lambda: latency_breakdown_vs_prompt(prompt_lens=PROMPT_LENS))
+    print_result(
+        "Fig. 1(a) -- Llama7B end-to-end latency breakdown (%) on A100, decode=16, batch=4",
+        format_table(rows, precision=1),
+    )
+    short, long = rows[0], rows[-1]
+    # short prompts are weight-load bound, long prompts are GEMM/KV bound
+    assert short["weight_load"] > 35.0
+    assert long["gemm"] > short["gemm"]
+    assert long["kv_load"] > short["kv_load"]

@@ -1,0 +1,16 @@
+"""E2 / Fig. 5(b): computation reduction of full-size vs group-wise bit merge."""
+
+from repro.eval import format_nested_table, merge_strategy_comparison
+
+from .conftest import print_result
+
+
+def test_fig05b_group_merge(benchmark):
+    table = benchmark(lambda: merge_strategy_comparison(rows=96))
+    print_result(
+        "Fig. 5(b) -- computation reduction: vanilla full-size vs group-wise merge",
+        format_nested_table(table, row_label="model"),
+    )
+    mean = table["Mean"]
+    # paper: group-wise merging is ~5x more effective than full-size merging
+    assert mean["group_wise"] > 3.0 * mean["full_size"]

@@ -1,0 +1,16 @@
+"""E3 / Fig. 5(d): value sparsity vs bit sparsity across the five LLMs."""
+
+from repro.eval import bit_vs_value_sparsity, format_nested_table
+
+from .conftest import print_result
+
+
+def test_fig05d_bit_vs_value_sparsity(benchmark):
+    table = benchmark(lambda: bit_vs_value_sparsity(rows=128))
+    print_result(
+        "Fig. 5(d) -- value sparsity vs mean bit sparsity (sign-magnitude INT8)",
+        format_nested_table(table, row_label="model"),
+    )
+    # paper: bit sparsity is ~10x higher than value sparsity on average
+    assert table["Mean"]["ratio"] > 4.0
+    assert table["Mean"]["bit_sparsity"] > 0.6

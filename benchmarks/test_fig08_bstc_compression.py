@@ -1,0 +1,34 @@
+"""E5 / Fig. 8(b,c): BSTC compression ratio vs (SR, m) and per-plane sparsity."""
+
+from repro.eval import (
+    compression_ratio_vs_group_size,
+    format_nested_table,
+    format_table,
+    plane_sparsity_by_model,
+)
+
+from .conftest import print_result
+
+
+def test_fig08b_compression_ratio_curves(benchmark):
+    curves = benchmark(lambda: compression_ratio_vs_group_size())
+    rows = [
+        {"sparsity": sr, **{f"m={m}": cr for m, cr in zip(range(1, 11), values)}}
+        for sr, values in curves.items()
+    ]
+    print_result("Fig. 8(b) -- BSTC compression ratio vs group size", format_table(rows, precision=2))
+    # CR>1 needs high sparsity; larger m eventually hurts at moderate sparsity
+    assert curves[0.95][3] > 1.5
+    assert curves[0.75][9] < curves[0.75][3]
+
+
+def test_fig08c_plane_sparsity(benchmark):
+    profiles = benchmark(lambda: plane_sparsity_by_model(models=("Llama7B", "Qwen7B")))
+    print_result(
+        "Fig. 8(c) -- per-bit-position sparsity (sign-magnitude INT8)",
+        format_nested_table(profiles, row_label="model", precision=2),
+    )
+    for model, profile in profiles.items():
+        # the paper compresses planes whose SR exceeds 65 %: true for the top planes
+        assert profile["7th BS"] > 0.9
+        assert profile["6th BS"] > 0.65

@@ -1,0 +1,30 @@
+"""E7 / Fig. 17: normalised computation (prefill) and memory access (decoding)."""
+
+from repro.eval import (
+    format_nested_table,
+    normalized_computation_prefill,
+    normalized_memory_access_decoding,
+)
+
+from .conftest import print_result
+
+MODELS = ("Llama7B", "Llama13B", "OPT1B3", "Bloom1B7", "Qwen7B")
+
+
+def test_fig17_normalized_computation(benchmark):
+    table = benchmark(lambda: normalized_computation_prefill(models=MODELS))
+    print_result(
+        "Fig. 17 (left) -- normalised prefill computation (SOFA = 1.0)",
+        format_nested_table(table, row_label="accelerator"),
+    )
+    assert table["MCBP"]["Mean"] == min(t["Mean"] for t in table.values())
+    assert table["Bitwave"]["Mean"] < table["FACT"]["Mean"]  # bit sparsity beats value sparsity
+
+
+def test_fig17_normalized_memory_access(benchmark):
+    table = benchmark(lambda: normalized_memory_access_decoding(models=MODELS))
+    print_result(
+        "Fig. 17 (right) -- normalised decoding memory access (FuseKNA = 1.0)",
+        format_nested_table(table, row_label="accelerator"),
+    )
+    assert table["MCBP"]["Mean"] == min(t["Mean"] for t in table.values())

@@ -1,0 +1,20 @@
+"""E6 / Fig. 18: design-space exploration of the group size m."""
+
+from repro.eval import format_nested_table, group_size_dse, optimal_group_size
+
+from .conftest import print_result
+
+
+def test_fig18_group_size_dse(benchmark):
+    dse = benchmark(lambda: group_size_dse())
+    table = {f"m={m}": row for m, row in dse.items()}
+    print_result(
+        "Fig. 18 -- computation reduction (min/max) and compression ratio vs group size",
+        format_nested_table(table, row_label="group size", precision=2),
+    )
+    reductions = [dse[m]["comp_reduction_min"] for m in sorted(dse)]
+    peak = reductions.index(max(reductions)) + 1
+    # the paper's sweet spot: reduction peaks around m=5 and the balanced
+    # choice (including compression and divisibility) is m=4
+    assert 3 <= peak <= 6
+    assert optimal_group_size(dse) == 4

@@ -1,0 +1,41 @@
+"""E8 / Fig. 19: latency reduction of BRCR, BSTC and BGPP (union and separate)."""
+
+from repro.eval import (
+    format_nested_table,
+    separate_technique_effects,
+    technique_latency_ablation,
+)
+
+from .conftest import print_result
+
+
+def test_fig19a_union_ablation(benchmark):
+    table = benchmark(lambda: technique_latency_ablation())
+    print_result(
+        "Fig. 19(a) -- normalised latency as BRCR/BSTC/BGPP are enabled (baseline = 1.0)",
+        format_nested_table(table, row_label="model"),
+    )
+    mean = table["Mean"]
+    assert mean["+BRCR"] < mean["Baseline"]
+    assert mean["+BSTC"] < mean["+BRCR"]
+    assert mean["+BGPP"] <= mean["+BSTC"]
+
+
+def test_fig19b_separate_effects(benchmark):
+    effects = benchmark(
+        lambda: separate_technique_effects(
+            dolly_prompts=(1024, 4096), mbpp_decodes=(1024, 4096)
+        )
+    )
+    print_result(
+        "Fig. 19(b) -- per-technique speedup on prompt-heavy (Dolly) and decode-heavy (MBPP) workloads",
+        format_nested_table(effects, row_label="scenario"),
+    )
+    # GEMM-bound summarisation benefits most from BRCR; decode-bound code
+    # generation benefits most from the traffic optimisations.
+    assert effects["Dolly-prompt1024"]["BRCR"] > effects["Dolly-prompt1024"]["BSTC"]
+    assert effects["MBPP-decode1024"]["BSTC"] > effects["MBPP-decode1024"]["BRCR"]
+    # longer decodes shift more benefit toward the KV-cache optimisation
+    assert (
+        effects["MBPP-decode4096"]["BGPP"] >= effects["MBPP-decode1024"]["BGPP"] * 0.95
+    )

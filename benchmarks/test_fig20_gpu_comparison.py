@@ -1,0 +1,41 @@
+"""E9 / Fig. 20: throughput and energy-efficiency gain over the A100 GPU."""
+
+from repro.eval import (
+    bit_shift_overhead,
+    format_nested_table,
+    throughput_and_efficiency_vs_gpu,
+)
+
+from .conftest import print_result
+
+
+def test_fig20ab_throughput_efficiency(benchmark):
+    table = benchmark(
+        lambda: throughput_and_efficiency_vs_gpu(
+            models=("Llama7B", "Llama13B", "OPT1B3", "Bloom1B7", "Qwen7B")
+        )
+    )
+    print_result(
+        "Fig. 20(a,b) -- MCBP (148 processors) vs A100: speedup and efficiency gain",
+        format_nested_table(table, row_label="model", precision=2),
+    )
+    mean = table["Mean"]
+    # paper: 8.72x / 9.43x speedup and 29.2x / 31.1x efficiency gain on average
+    assert mean["speedup_standard"] > 3.0
+    assert mean["speedup_aggressive"] >= mean["speedup_standard"]
+    assert mean["efficiency_gain_standard"] > 10.0
+    assert mean["efficiency_gain_aggressive"] >= mean["efficiency_gain_standard"]
+    # larger GPU batches amortise weight traffic but saturate
+    assert mean["gpu_throughput_b128"] > mean["gpu_throughput_b8"]
+
+
+def test_fig20c_bit_shift_overhead(benchmark):
+    table = benchmark(lambda: bit_shift_overhead())
+    print_result(
+        "Fig. 20(c) -- bit-shift overhead vs value-level execution (Llama7B)",
+        format_nested_table(table, row_label="task"),
+    )
+    geo = table["GeoMean"]
+    # the shift overhead stays small and is far outweighed by the overall gain
+    assert geo["bit_shift_fraction"] < 0.3
+    assert geo["latency_reduction"] > 1.5

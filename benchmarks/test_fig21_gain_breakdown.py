@@ -1,0 +1,22 @@
+"""E10 / Fig. 21: software vs hardware gain breakdown of BRCR/BSTC/BGPP."""
+
+from repro.eval import format_nested_table, gain_breakdown
+
+from .conftest import print_result
+
+
+def test_fig21_gain_breakdown(benchmark):
+    table = benchmark(lambda: gain_breakdown())
+    print_result(
+        "Fig. 21 -- cumulative software (GPU) vs hardware (MCBP) gains over the dense A100 baseline",
+        format_nested_table(table, row_label="step", precision=2),
+    )
+    # software-only deployment of the algorithms yields small gains; the
+    # dedicated engines provide the bulk of the benefit (paper Fig. 21).
+    for step, row in table.items():
+        assert row["software_speedup"] < row["hardware_speedup"], step
+    assert table["+BGPP"]["software_speedup"] < 3.0
+    assert table["+BGPP"]["hardware_speedup"] > 3.0
+    # gains accumulate step by step
+    assert table["+BSTC"]["hardware_speedup"] >= table["+BRCR"]["hardware_speedup"]
+    assert table["+BGPP"]["hardware_speedup"] >= table["+BSTC"]["hardware_speedup"]

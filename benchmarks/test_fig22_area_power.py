@@ -1,0 +1,32 @@
+"""E11 / Fig. 22 + Table 3: area and power breakdown of the MCBP prototype."""
+
+from repro.eval import format_nested_table
+from repro.hw import MCBP_HW_CONFIG, mcbp_area_breakdown, mcbp_power_breakdown
+
+from .conftest import print_result
+
+
+def test_fig22_area_power_breakdown(benchmark):
+    area, power = benchmark(lambda: (mcbp_area_breakdown(), mcbp_power_breakdown()))
+    table = {
+        name: {
+            "area_mm2": area.components.get(name, 0.0),
+            "area_frac": area.components.get(name, 0.0) / area.total_mm2,
+            "power_w": power.components.get(name, 0.0),
+            "power_frac": power.components.get(name, 0.0) / power.total_w,
+        }
+        for name in sorted(set(area.components) | set(power.components))
+    }
+    print_result(
+        "Fig. 22 / Table 3 -- MCBP area (9.52 mm^2) and power (2.395 W) breakdown",
+        format_nested_table(table, row_label="component"),
+    )
+    assert area.total_mm2 == MCBP_HW_CONFIG.area_mm2
+    assert abs(sum(power.components.values()) - power.total_w) / power.total_w < 0.01
+    # headline fractions from the paper
+    assert abs(area.fraction("brcr_unit") - 0.382) < 0.01
+    assert abs(power.fraction("dram") - 0.476) < 0.01
+    assert area.fraction("bstc_unit") < 0.07  # lightweight CODEC
+    # Table 3 structural parameters
+    assert MCBP_HW_CONFIG.n_pes == 160
+    assert MCBP_HW_CONFIG.total_sram_kb == 1248

@@ -1,0 +1,29 @@
+"""E12 / Fig. 23: per-stage speedup and energy vs SOTA accelerators (Llama7B)."""
+
+import pytest
+
+from repro.eval import format_nested_table, sota_stage_comparison
+
+from .conftest import print_result
+
+
+@pytest.mark.parametrize("stage", ["prefill", "decode"])
+def test_fig23_sota_comparison(benchmark, stage):
+    table = benchmark(lambda: sota_stage_comparison(stage=stage))
+    flattened = {
+        f"{task}/{acc}": metrics
+        for task, per_acc in table.items()
+        for acc, metrics in per_acc.items()
+    }
+    print_result(
+        f"Fig. 23 -- {stage} stage: speedup and normalised energy vs SOTA (SOFA = 1.0)",
+        format_nested_table(flattened, row_label="task/accelerator", precision=2),
+    )
+    mean = table["Mean"]
+    # MCBP achieves the best speedup and the lowest energy in both stages
+    assert mean["MCBP"]["speedup"] == max(m["speedup"] for m in mean.values())
+    assert mean["MCBP"]["energy_total"] == min(m["energy_total"] for m in mean.values())
+    # MCBP's bit-reorder energy share stays small (bit-slice-first layout)
+    assert mean["MCBP"]["energy_bit_reorder"] < 0.1 * mean["MCBP"]["energy_total"] + 1e-9
+    # FuseKNA / Bitwave pay noticeable reorder energy
+    assert mean["FuseKNA"]["energy_bit_reorder"] > mean["MCBP"]["energy_bit_reorder"]

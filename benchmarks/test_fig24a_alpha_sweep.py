@@ -1,0 +1,20 @@
+"""E13 / Fig. 24(a): impact of the BGPP threshold parameter alpha on accuracy/sparsity."""
+
+from repro.eval import alpha_sweep, format_nested_table
+
+from .conftest import print_result
+
+
+def test_fig24a_alpha_sweep(benchmark):
+    sweep = benchmark(lambda: alpha_sweep(alphas=(0.8, 0.7, 0.6, 0.5, 0.4, 0.3)))
+    table = {f"alpha={a}": row for a, row in sweep.items()}
+    print_result(
+        "Fig. 24(a) -- accuracy proxy vs attention sparsity as alpha varies",
+        format_nested_table(table, row_label="setting", precision=1),
+    )
+    # smaller alpha prunes more aggressively ...
+    assert sweep[0.3]["attention_sparsity"] > sweep[0.8]["attention_sparsity"]
+    # ... and eventually costs fidelity
+    assert sweep[0.3]["accuracy_proxy"] <= sweep[0.8]["accuracy_proxy"] + 1e-9
+    # the paper's operating range (alpha 0.5-0.6) keeps sparsity high
+    assert sweep[0.5]["attention_sparsity"] > 30.0

@@ -1,0 +1,20 @@
+"""E14 / Fig. 24(b): hardware overhead vs benefit of BRCR, BSTC and BGPP."""
+
+from repro.eval import format_nested_table, hardware_ablation
+
+from .conftest import print_result
+
+
+def test_fig24b_hardware_ablation(benchmark):
+    table = benchmark(lambda: hardware_ablation())
+    print_result(
+        "Fig. 24(b) -- area/power/throughput/efficiency vs a same-throughput systolic array",
+        format_nested_table(table, row_label="step", precision=2),
+    )
+    assert table["SystolicArray"]["throughput"] == 1.0
+    # each engine adds a modest area/power increment but a larger benefit
+    assert table["BRCR"]["throughput"] > 1.5
+    assert table["+BSTC"]["throughput"] >= table["BRCR"]["throughput"]
+    assert table["+BGPP"]["throughput"] >= table["+BSTC"]["throughput"]
+    assert table["+BGPP"]["energy_efficiency"] > 2.0
+    assert table["+BGPP"]["area"] < 1.5  # within the same silicon budget ballpark

@@ -1,0 +1,31 @@
+"""E15 / Fig. 25: bit-level sparsity and BRCR/BSTC gains across quantisation schemes."""
+
+from repro.eval import format_nested_table, quantization_sparsity_study
+
+from .conftest import print_result
+
+
+def test_fig25_quant_sparsity(benchmark):
+    study = benchmark(lambda: quantization_sparsity_study())
+    table = {
+        name: {
+            "bits": entry["bits"],
+            "value_sparsity": entry["value_sparsity"],
+            "bit_sparsity": entry["bit_sparsity"],
+            "norm_computation_brcr": entry["norm_computation_brcr"],
+            "norm_memory_bstc": entry["norm_memory_bstc"],
+        }
+        for name, entry in study.items()
+    }
+    print_result(
+        "Fig. 25 -- Llama13B: sparsity and BRCR/BSTC gains under PTQ-INT8 / QAT-INT8 / PTQ-INT4",
+        format_nested_table(table, row_label="scheme"),
+    )
+    # INT8 PTQ/QAT behave similarly; INT4 has much higher value sparsity but
+    # lower bit sparsity, and both BRCR and BSTC still deliver gains.
+    assert abs(study["ptq_int8"]["bit_sparsity"] - study["qat_int8"]["bit_sparsity"]) < 0.25
+    assert study["ptq_int4"]["value_sparsity"] > study["ptq_int8"]["value_sparsity"]
+    assert study["ptq_int4"]["bit_sparsity"] < study["ptq_int8"]["bit_sparsity"]
+    for entry in study.values():
+        assert entry["norm_computation_brcr"] < 1.0
+        assert entry["norm_memory_bstc"] <= 1.0

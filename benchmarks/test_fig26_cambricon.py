@@ -1,0 +1,24 @@
+"""E16 / Fig. 26: comparison with the Cambricon-C INT4 accelerator (W4A8)."""
+
+from repro.eval import cambricon_comparison, format_nested_table
+
+from .conftest import print_result
+
+
+def test_fig26_cambricon(benchmark):
+    table = benchmark(lambda: cambricon_comparison())
+    flattened = {
+        f"{stage}/{model}": metrics
+        for stage, per_model in table.items()
+        for model, metrics in per_model.items()
+    }
+    print_result(
+        "Fig. 26 -- MCBP vs Cambricon-C (W4A8) on the Dolly task",
+        format_nested_table(flattened, row_label="stage/model", precision=2),
+    )
+    # MCBP wins both stages on every model: Cambricon-C's lookup GEMM has no
+    # sparsity exploitation in prefill and no traffic optimisation in decode.
+    for stage in ("prefill", "decode"):
+        for model, metrics in table[stage].items():
+            assert metrics["speedup"] > 1.0, (stage, model)
+            assert metrics["energy_ratio"] < 1.0, (stage, model)

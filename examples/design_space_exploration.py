@@ -1,0 +1,50 @@
+"""Design-space exploration: choosing the group size m and the BGPP alpha.
+
+Reproduces the two tuning studies behind MCBP's default configuration:
+
+* Fig. 18 -- the group size ``m`` trades BRCR computation reduction against
+  BSTC compression ratio; the balanced choice is ``m = 4``.
+* Fig. 24(a) -- the BGPP threshold parameter ``alpha`` trades attention
+  sparsity against output fidelity; the paper operates at 0.5-0.6.
+
+Usage::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.eval import (
+    alpha_sweep,
+    format_nested_table,
+    group_size_dse,
+    optimal_group_size,
+)
+
+
+def main() -> None:
+    dse = group_size_dse()
+    table = {f"m={m}": row for m, row in dse.items()}
+    print(
+        format_nested_table(
+            table,
+            row_label="group size",
+            title="Group-size DSE (computation reduction band + compression ratio)",
+            precision=2,
+        )
+    )
+    print(f"\nBalanced choice of m: {optimal_group_size(dse)} (paper picks 4)\n")
+
+    sweep = alpha_sweep(alphas=(0.8, 0.7, 0.6, 0.5, 0.4, 0.3))
+    table = {f"alpha={a}": row for a, row in sweep.items()}
+    print(
+        format_nested_table(
+            table,
+            row_label="setting",
+            title="BGPP alpha sweep (accuracy proxy vs attention sparsity)",
+            precision=1,
+        )
+    )
+    print("\nPaper operating range: alpha in [0.5, 0.6] balances both objectives.")
+
+
+if __name__ == "__main__":
+    main()

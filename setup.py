@@ -1,0 +1,20 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+Project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable-install path on environments lacking PEP 517 build tooling.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of MCBP: a memory-compute efficient LLM inference "
+        "accelerator leveraging bit-slice-enabled sparsity and repetitiveness"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+)

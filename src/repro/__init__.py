@@ -1,0 +1,55 @@
+"""repro -- reproduction of the MCBP LLM inference accelerator (MICRO 2025).
+
+MCBP is an algorithm-hardware co-design that accelerates integer-quantised LLM
+inference at the bit-slice level through three techniques:
+
+* **BRCR** (:mod:`repro.core.brcr`) -- GEMM computation reduction by merging
+  repeated bit-slice column vectors inside small row groups;
+* **BSTC** (:mod:`repro.core.bstc`) -- lossless two-state coding of sparse
+  high-order weight bit planes to cut weight traffic;
+* **BGPP** (:mod:`repro.core.bgpp`) -- progressive, bit-grained top-k attention
+  prediction with early termination to cut KV-cache traffic.
+
+The package also contains the substrates needed to evaluate them end to end: a
+NumPy decoder-only transformer with KV cache (:mod:`repro.model`), integer
+quantisation (:mod:`repro.quant`), an analytical accelerator/GPU cost framework
+(:mod:`repro.hw`, :mod:`repro.baselines`), workload descriptors
+(:mod:`repro.workloads`) and per-figure experiment drivers (:mod:`repro.eval`).
+"""
+
+from . import baselines, core, eval, hw, model, quant, sparsity, workloads
+from .core import (
+    BGPPConfig,
+    BRCRConfig,
+    BSTCCodec,
+    bgpp_select,
+    brcr_gemm,
+    brcr_gemv,
+)
+from .core.engine import MCBPEngine
+from .hw import MCBPAccelerator
+from .workloads import make_workload, profile_model
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "quant",
+    "model",
+    "sparsity",
+    "hw",
+    "baselines",
+    "workloads",
+    "eval",
+    "BRCRConfig",
+    "BGPPConfig",
+    "BSTCCodec",
+    "brcr_gemv",
+    "brcr_gemm",
+    "bgpp_select",
+    "MCBPEngine",
+    "MCBPAccelerator",
+    "make_workload",
+    "profile_model",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline accelerator and GPU models used for comparisons."""
+
+from .accelerators import (
+    SOTA_ACCELERATORS,
+    BitwaveAccelerator,
+    CambriconCAccelerator,
+    EnergonAccelerator,
+    FACTAccelerator,
+    FuseKNAAccelerator,
+    SOFAAccelerator,
+    SpAttenAccelerator,
+    SystolicArrayAccelerator,
+)
+from .gpu import GPU_SOFTWARE_GAINS, GPUAccelerator
+
+__all__ = [
+    "GPUAccelerator",
+    "GPU_SOFTWARE_GAINS",
+    "SpAttenAccelerator",
+    "FACTAccelerator",
+    "SOFAAccelerator",
+    "BitwaveAccelerator",
+    "FuseKNAAccelerator",
+    "EnergonAccelerator",
+    "CambriconCAccelerator",
+    "SystolicArrayAccelerator",
+    "SOTA_ACCELERATORS",
+]

@@ -1,0 +1,252 @@
+"""Analytical models of the prior-work accelerators MCBP is compared against.
+
+Each class captures the published optimisation mechanism of one design as a
+set of hooks over the shared cost framework in
+:mod:`repro.hw.accelerator`.  The intent is not to re-implement every RTL
+detail but to reproduce *which* redundancy each design can exploit (Table 1
+of the paper) on identical workloads, so that the relative comparisons in
+Figs. 17, 23, 24(b) and 26 keep their shape:
+
+* **SpAtten** -- value-level cascade token/head pruning, prefill + decode.
+* **FACT** -- eager value-level top-k prediction plus mixed-precision linear
+  layers, prefill oriented.
+* **SOFA** -- attention-only compute/memory co-optimisation with cross-stage
+  tiling (low prediction IO) but no weight-traffic optimisation.
+* **Bitwave** -- column-wise bit-level weight sparsity with bit-reorder
+  overhead, no attention/KV optimisation.
+* **FuseKNA** -- bit-repetition (kernel fusion) compute reduction with serial
+  matching overhead and value-level run-length weight coding.
+* **Energon** -- mixed-precision multi-round top-k filtering of the KV cache.
+* **Cambricon-C** -- INT4 lookup-based GEMM (W4A8 extension used in Fig. 26).
+* **SystolicArray** -- dense INT8 reference with the same compute budget,
+  used as the ablation starting point in Fig. 24(b).
+"""
+
+from __future__ import annotations
+
+from ..hw.accelerator import AnalyticalAccelerator
+from ..hw.constants import DEFAULT_TECH
+from ..workloads.profile import AlgorithmProfile
+
+__all__ = [
+    "SystolicArrayAccelerator",
+    "SpAttenAccelerator",
+    "FACTAccelerator",
+    "SOFAAccelerator",
+    "BitwaveAccelerator",
+    "FuseKNAAccelerator",
+    "EnergonAccelerator",
+    "CambriconCAccelerator",
+    "SOTA_ACCELERATORS",
+]
+
+
+class SystolicArrayAccelerator(AnalyticalAccelerator):
+    """Dense INT8 systolic array with the same nominal compute as MCBP."""
+
+    name = "SystolicArray"
+    peak_ops_per_cycle = 2048.0
+    op_energy_pj = DEFAULT_TECH.int8_mac_pj
+    utilization = 0.85
+
+
+class SpAttenAccelerator(AnalyticalAccelerator):
+    """SpAtten: cascade token + head pruning with value-level top-k (HPCA'21)."""
+
+    name = "SpAtten"
+    peak_ops_per_cycle = 2048.0
+    op_energy_pj = DEFAULT_TECH.int8_mac_pj
+    utilization = 0.7
+    token_keep_fraction_attr = "value_topk_keep_fraction"
+    head_pruning_keep = 0.9  # cascade head pruning removes ~10 % of heads
+
+    def linear_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        # token pruning also shrinks the downstream linear layers a little,
+        # head pruning trims the attention projections.
+        keep = getattr(profile, self.token_keep_fraction_attr)
+        return self.head_pruning_keep * (0.6 + 0.4 * keep)
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        keep = getattr(profile, self.token_keep_fraction_attr)
+        prediction = 0.5  # value-level estimate over all keys
+        return self.head_pruning_keep * keep + prediction
+
+    def kv_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        if stage == "prefill":
+            return 1.0
+        return getattr(profile, self.token_keep_fraction_attr)
+
+    def prediction_traffic_bytes(self, workload, profile, stage, dense_kv_bytes):
+        if stage == "prefill":
+            return 0.0
+        return dense_kv_bytes / 2.0 * 0.5  # 4-bit MSBs of every key, every step
+
+    def bit_reorder_fraction(self, profile: AlgorithmProfile) -> float:
+        return 0.0
+
+
+class FACTAccelerator(AnalyticalAccelerator):
+    """FACT: eager correlation prediction + mixed-precision linear layers (ISCA'23)."""
+
+    name = "FACT"
+    peak_ops_per_cycle = 2048.0
+    op_energy_pj = DEFAULT_TECH.int8_mac_pj
+    utilization = 0.72
+    mixed_precision_gain = 1.6  # fraction of MACs executed at reduced precision
+
+    def linear_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        return 1.0 / self.mixed_precision_gain
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        keep = profile.value_topk_keep_fraction
+        prediction = 0.5
+        return keep / self.mixed_precision_gain + prediction
+
+    def weight_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        # "Low" weight-access optimisation in Table 1: mixed precision lets a
+        # fraction of the weights stream at 4 bits.
+        return 0.85
+
+    def kv_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        return 1.0  # no KV-cache optimisation
+
+    def prediction_traffic_bytes(self, workload, profile, stage, dense_kv_bytes):
+        if stage == "prefill":
+            return 0.0
+        return dense_kv_bytes / 2.0 * 0.5
+
+
+class SOFAAccelerator(AnalyticalAccelerator):
+    """SOFA: cross-stage-tiled sparse attention accelerator (MICRO'24)."""
+
+    name = "SOFA"
+    peak_ops_per_cycle = 2048.0
+    op_energy_pj = DEFAULT_TECH.int8_mac_pj
+    utilization = 0.75
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        keep = profile.value_topk_keep_fraction
+        prediction = 0.25  # cross-stage tiling amortises much of the estimate
+        return keep + prediction
+
+    def kv_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        if stage == "prefill":
+            return 1.0
+        # KV traffic in the attention module is tiled/reused, but the design
+        # has no answer for the decode-stage weight stream.
+        return 0.6
+
+    def prediction_traffic_bytes(self, workload, profile, stage, dense_kv_bytes):
+        if stage == "prefill":
+            return 0.0
+        return dense_kv_bytes / 2.0 * 0.25
+
+
+class BitwaveAccelerator(AnalyticalAccelerator):
+    """BitWave: column-wise bit-level weight sparsity, bit-serial datapath (HPCA'24)."""
+
+    name = "Bitwave"
+    peak_ops_per_cycle = 16384.0  # bit-serial additions per cycle
+    op_energy_pj = DEFAULT_TECH.int8_add_pj
+    utilization = 0.7
+
+    def linear_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        bits = profile.weight_bits
+        # skips zero bit columns but cannot merge repeated ones
+        return bits * (1.0 - profile.bit_sparsity)
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        bits = profile.weight_bits
+        return bits * (1.0 - profile.bit_sparsity)
+
+    def weight_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        # multi-bit column compression, less effective than plane-wise BSTC
+        return 1.0 / (1.0 + 0.5 * (profile.bstc_compression_ratio - 1.0))
+
+    def bit_reorder_fraction(self, profile: AlgorithmProfile) -> float:
+        return 0.18  # paper Fig. 23: ~18 % bit-reorder energy overhead
+
+
+class FuseKNAAccelerator(AnalyticalAccelerator):
+    """FuseKNA: fused-kernel bit-repetition accelerator adapted via im2col (HPCA'21)."""
+
+    name = "FuseKNA"
+    peak_ops_per_cycle = 16384.0
+    op_energy_pj = DEFAULT_TECH.int8_add_pj
+    utilization = 0.55  # serial repetition matching limits sustained throughput
+
+    def linear_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        bits = profile.weight_bits
+        # exploits bit repetition but at full-matrix granularity, capturing
+        # roughly half of the group-wise merge benefit
+        reduction = 1.0 + 0.5 * (profile.brcr_reduction - 1.0)
+        return bits / max(reduction, 1e-9)
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        return self.linear_ops_factor(profile, stage)  # no attention sparsity
+
+    def weight_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        # value-level run-length coding: bounded by value sparsity
+        return 1.0 - 0.8 * profile.value_sparsity
+
+    def bit_reorder_fraction(self, profile: AlgorithmProfile) -> float:
+        return 0.30  # value-layout storage needs heavy reordering for bit PEs
+
+
+class EnergonAccelerator(AnalyticalAccelerator):
+    """Energon: mixed-precision multi-round top-k filtering co-processor (TCAD'22)."""
+
+    name = "Energon"
+    peak_ops_per_cycle = 2048.0
+    op_energy_pj = DEFAULT_TECH.int8_mac_pj
+    utilization = 0.7
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        keep = profile.value_topk_keep_fraction
+        prediction = 0.35  # multi-round low-precision filtering
+        return keep + prediction
+
+    def kv_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        if stage == "prefill":
+            return 1.0
+        return min(1.0, profile.value_topk_keep_fraction + 0.1)
+
+    def prediction_traffic_bytes(self, workload, profile, stage, dense_kv_bytes):
+        if stage == "prefill":
+            return 0.0
+        return dense_kv_bytes / 2.0 * 0.35
+
+
+class CambriconCAccelerator(AnalyticalAccelerator):
+    """Cambricon-C extended to W4A8: lookup-based INT4 matrix unit (MICRO'24)."""
+
+    name = "Cambricon-C"
+    peak_ops_per_cycle = 4096.0
+    op_energy_pj = 0.12  # quarter-square lookup amortises multiply energy
+    utilization = 0.65  # lookup bandwidth limits sustained throughput at A8
+
+    def linear_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        return 1.0  # dense lookups, no sparsity exploitation
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        return 1.0
+
+    def weight_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        # W4 weights halve the stream relative to the INT8 reference, but the
+        # design has no further compression (no bit-plane sparsity coding).
+        return profile.weight_bits / 8.0
+
+    def kv_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        return 1.0
+
+
+SOTA_ACCELERATORS = {
+    "SpAtten": SpAttenAccelerator,
+    "FACT": FACTAccelerator,
+    "SOFA": SOFAAccelerator,
+    "Bitwave": BitwaveAccelerator,
+    "FuseKNA": FuseKNAAccelerator,
+    "Energon": EnergonAccelerator,
+    "Cambricon-C": CambriconCAccelerator,
+    "SystolicArray": SystolicArrayAccelerator,
+}

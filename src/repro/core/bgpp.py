@@ -1,0 +1,394 @@
+"""Bit-Grained Progressive Prediction (BGPP, paper §3.3, Fig. 9 and Fig. 16).
+
+BGPP replaces the value-level top-k attention predictor with a progressive,
+bit-serial filter.  Key bit planes are streamed MSB-first; after every round
+the partial attention estimates are compared against a radius-based threshold
+(Eq. 1 in the paper)
+
+``theta_r = max(A_hat_r) - alpha_r * radius``
+
+and only the surviving keys fetch their next bit plane from memory.  This
+terminates both the computation and the KV-cache traffic of obviously trivial
+keys early.
+
+The module provides:
+
+* :func:`bgpp_select` -- the progressive filter for one query row, returning
+  the selected key indices together with exact accounting of the KV bits
+  loaded and the multiply-accumulate work performed;
+* :func:`value_topk_select` -- the conventional value-level top-k predictor
+  used as a baseline (paper §2.2, Fig. 3);
+* :func:`exact_topk` / :func:`selection_recall` -- oracles for measuring how
+  faithful either predictor is to exact attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bitslice import to_bitslices
+
+__all__ = [
+    "BGPPConfig",
+    "BGPPResult",
+    "TopKResult",
+    "bgpp_select",
+    "bgpp_select_batch",
+    "value_topk_select",
+    "exact_topk",
+    "selection_recall",
+    "attention_sparsity",
+]
+
+
+@dataclass
+class BGPPConfig:
+    """Parameters of the progressive filter.
+
+    Attributes
+    ----------
+    rounds:
+        Number of filtering rounds, i.e. how many key bit planes (MSB first)
+        are examined.  The paper uses a small fixed number (typically 4).
+    radius:
+        The softmax "radius": keys whose estimated score falls more than
+        ``alpha * radius`` below the running maximum are filtered (default 3,
+        paper §3.3).
+    alpha:
+        Per-round pruning aggressiveness, either a scalar applied to every
+        round or one value per round; the paper sweeps 0.3-0.8 and settles on
+        0.5-0.6.
+    key_bits:
+        Bit width of the stored keys (including sign).
+    query_bits:
+        Bit width used for the query during prediction (paper: 4-bit MSBs).
+    score_scale:
+        Dequantisation scale applied to integer partial sums before they are
+        compared against ``radius`` (the product of the Q and K quantisation
+        scales and the :math:`1/\\sqrt{d}` attention scaling).
+    min_keys:
+        Never prune below this many surviving keys (guards degenerate cases).
+    """
+
+    rounds: int = 4
+    radius: float = 3.0
+    alpha: float | Sequence[float] = 0.55
+    key_bits: int = 8
+    query_bits: int = 4
+    score_scale: float = 1.0
+    min_keys: int = 1
+
+    def alpha_for_round(self, round_index: int) -> float:
+        if isinstance(self.alpha, (int, float)):
+            return float(self.alpha)
+        seq = list(self.alpha)
+        if not seq:
+            raise ValueError("alpha sequence must not be empty")
+        return float(seq[min(round_index, len(seq) - 1)])
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.radius < 0:
+            raise ValueError("radius must be >= 0")
+        if self.key_bits < 2:
+            raise ValueError("key_bits must be >= 2")
+        if self.min_keys < 1:
+            raise ValueError("min_keys must be >= 1")
+
+
+@dataclass
+class BGPPResult:
+    """Outcome of one progressive prediction pass."""
+
+    selected: np.ndarray
+    estimated_scores: np.ndarray
+    survivors_per_round: List[int]
+    kv_bits_loaded: int
+    mac_ops: int
+    rounds_executed: int
+    early_terminated: bool
+
+    @property
+    def selected_fraction(self) -> float:
+        n = self.estimated_scores.shape[0]
+        return float(self.selected.size) / n if n else 0.0
+
+
+@dataclass
+class TopKResult:
+    """Outcome of the value-level top-k baseline predictor."""
+
+    selected: np.ndarray
+    estimated_scores: np.ndarray
+    kv_bits_loaded: int
+    mac_ops: int
+
+
+def _reduced_precision_query(query: np.ndarray, query_bits: int, full_bits: int = 8) -> np.ndarray:
+    """Keep only the ``query_bits`` most significant bits of the query values."""
+    if query_bits >= full_bits:
+        return query.astype(np.int64)
+    shift = full_bits - query_bits
+    return (query.astype(np.int64) >> shift) << shift
+
+
+def _signed_key_planes(keys: np.ndarray, key_bits: int) -> List[np.ndarray]:
+    """Return key bit planes MSB-first as {-1, 0, 1} matrices with signs applied."""
+    slices = to_bitslices(keys, bits=key_bits, fmt="sign_magnitude")
+    sign = slices[-1].astype(np.int64)
+    sign_factor = 1 - 2 * sign
+    planes: List[np.ndarray] = []
+    for i in reversed(range(key_bits - 1)):  # MSB magnitude plane first
+        planes.append(slices[i].astype(np.int64) * sign_factor)
+    return planes
+
+
+def bgpp_select(
+    query: np.ndarray,
+    keys: np.ndarray,
+    config: Optional[BGPPConfig] = None,
+) -> BGPPResult:
+    """Run the progressive bit-grained filter for a single query row.
+
+    Parameters
+    ----------
+    query:
+        Integer query vector of length ``d`` (already quantised).
+    keys:
+        Integer key matrix of shape ``(n_keys, d)``.
+    config:
+        Filter parameters; defaults to :class:`BGPPConfig`.
+
+    Returns
+    -------
+    BGPPResult
+        Selected key indices, per-round survivor counts and exact KV-traffic /
+        compute accounting.
+    """
+    config = config or BGPPConfig()
+    query = np.asarray(query)
+    keys = np.asarray(keys)
+    if query.ndim != 1:
+        raise ValueError(f"query must be 1-D, got shape {query.shape}")
+    if keys.ndim != 2 or keys.shape[1] != query.shape[0]:
+        raise ValueError(
+            f"keys must have shape (n, {query.shape[0]}), got {keys.shape}"
+        )
+    n_keys, d = keys.shape
+    if n_keys == 0:
+        return BGPPResult(
+            selected=np.zeros(0, dtype=np.int64),
+            estimated_scores=np.zeros(0, dtype=np.float64),
+            survivors_per_round=[],
+            kv_bits_loaded=0,
+            mac_ops=0,
+            rounds_executed=0,
+            early_terminated=False,
+        )
+
+    q = _reduced_precision_query(query, config.query_bits, full_bits=config.key_bits)
+    planes = _signed_key_planes(keys, config.key_bits)
+    n_magnitude_planes = len(planes)
+    rounds = min(config.rounds, n_magnitude_planes)
+
+    alive = np.arange(n_keys)
+    psum = np.zeros(n_keys, dtype=np.int64)
+    kv_bits = 0
+    mac_ops = 0
+    survivors: List[int] = []
+    early_terminated = False
+
+    # sign plane is fetched together with the first magnitude plane
+    kv_bits += n_keys * d
+
+    for r in range(rounds):
+        plane = planes[r]
+        shift = config.key_bits - 2 - r  # weight of this magnitude plane
+        # fetch the r-th bit of every surviving key
+        kv_bits += alive.size * d
+        partial = plane[alive] @ q
+        mac_ops += alive.size * d
+        psum[alive] = psum[alive] + (partial << shift)
+
+        scores = psum[alive].astype(np.float64) * config.score_scale
+        current_max = scores.max()
+        threshold = current_max - config.alpha_for_round(r) * config.radius
+
+        if threshold <= scores.min():
+            # clock-gated clipping: nothing can be pruned this round
+            survivors.append(int(alive.size))
+            if r == rounds - 1:
+                break
+            continue
+
+        keep_mask = scores >= threshold
+        if keep_mask.sum() < config.min_keys:
+            order = np.argsort(scores)[::-1]
+            keep_mask = np.zeros_like(keep_mask)
+            keep_mask[order[: config.min_keys]] = True
+        alive = alive[keep_mask]
+        survivors.append(int(alive.size))
+        if alive.size <= config.min_keys:
+            early_terminated = True
+            break
+
+    final_scores = psum.astype(np.float64) * config.score_scale
+    return BGPPResult(
+        selected=np.sort(alive),
+        estimated_scores=final_scores,
+        survivors_per_round=survivors,
+        kv_bits_loaded=int(kv_bits),
+        mac_ops=int(mac_ops),
+        rounds_executed=len(survivors),
+        early_terminated=early_terminated,
+    )
+
+
+def bgpp_select_batch(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    config: Optional[BGPPConfig] = None,
+) -> List[BGPPResult]:
+    """Run :func:`bgpp_select` for every query row of a ``(S, d)`` matrix."""
+    queries = np.asarray(queries)
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+    return [bgpp_select(q, keys, config=config) for q in queries]
+
+
+def value_topk_select(
+    query: np.ndarray,
+    keys: np.ndarray,
+    k: int,
+    prediction_bits: int = 4,
+    key_bits: int = 8,
+) -> TopKResult:
+    """Value-level top-k prediction baseline (paper Fig. 3 / Fig. 5e).
+
+    The predictor loads the ``prediction_bits`` most significant bits of every
+    key, computes the full estimated attention row and keeps the ``k`` largest
+    entries.  Memory traffic therefore scales with *all* keys regardless of
+    how trivial they are.
+    """
+    query = np.asarray(query)
+    keys = np.asarray(keys)
+    n_keys, d = keys.shape
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, n_keys)
+
+    shift = key_bits - prediction_bits
+    reduced_keys = (keys.astype(np.int64) >> shift) << shift if shift > 0 else keys
+    reduced_q = _reduced_precision_query(query, prediction_bits, full_bits=key_bits)
+    scores = reduced_keys @ reduced_q
+    order = np.argsort(scores)[::-1]
+    selected = np.sort(order[:k])
+    return TopKResult(
+        selected=selected,
+        estimated_scores=scores.astype(np.float64),
+        kv_bits_loaded=int(n_keys * d * prediction_bits),
+        mac_ops=int(n_keys * d),
+    )
+
+
+def exact_topk(query: np.ndarray, keys: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` keys with the largest exact integer dot products."""
+    query = np.asarray(query, dtype=np.int64)
+    keys = np.asarray(keys, dtype=np.int64)
+    scores = keys @ query
+    k = min(max(k, 1), keys.shape[0])
+    order = np.argsort(scores)[::-1]
+    return np.sort(order[:k])
+
+
+def selection_recall(selected: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of ``reference`` indices contained in ``selected``."""
+    reference = np.asarray(reference)
+    if reference.size == 0:
+        return 1.0
+    selected_set = set(np.asarray(selected).tolist())
+    hits = sum(1 for idx in reference.tolist() if idx in selected_set)
+    return hits / reference.size
+
+
+def make_bgpp_predictor(
+    alpha: float | Sequence[float] = 0.55,
+    rounds: int = 3,
+    radius: float = 3.0,
+    key_bits: int = 8,
+    query_bits: int = 4,
+    score_std_target: float = 0.8,
+):
+    """Build a key-predictor callable for :class:`repro.model.MultiHeadAttention`.
+
+    The attention module hands the predictor float Q/K rows; the predictor
+    quantises them on the fly (symmetric INT8, the same tensors the BGPP unit
+    would receive from the quantiser) and returns the indices of the keys the
+    progressive filter keeps.
+
+    ``score_std_target`` normalises the integer partial sums so that the
+    expected score standard deviation maps to this many softmax-logit units
+    before the radius threshold (Eq. 1) is applied.  This keeps the pruning
+    aggressiveness consistent across models whose raw attention-logit ranges
+    differ (trained LLMs have wide, peaked logits; the synthetic models here
+    have narrow ones).
+    """
+
+    def predictor(query: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        d = query.shape[0]
+        q_scale = max(np.abs(query).max(), 1e-12) / 127.0
+        k_scale = max(np.abs(keys).max(), 1e-12) / 127.0
+        q_int = np.clip(np.round(query / q_scale), -127, 127).astype(np.int64)
+        k_int = np.clip(np.round(keys / k_scale), -127, 127).astype(np.int64)
+        # Estimated std of the integer dot products: ||q|| * mean ||k|| / sqrt(d).
+        q_norm = float(np.linalg.norm(q_int))
+        k_norm = float(np.mean(np.linalg.norm(k_int, axis=1)))
+        score_std = max(q_norm * k_norm / np.sqrt(d), 1e-9)
+        score_scale = score_std_target / score_std
+        config = BGPPConfig(
+            rounds=rounds,
+            radius=radius,
+            alpha=alpha,
+            key_bits=key_bits,
+            query_bits=query_bits,
+            score_scale=score_scale,
+        )
+        return bgpp_select(q_int, k_int, config).selected
+
+    return predictor
+
+
+def make_value_topk_predictor(keep_fraction: float = 0.3, prediction_bits: int = 4):
+    """Build a value-level top-k key predictor (the conventional baseline)."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+
+    def predictor(query: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        q_scale = max(np.abs(query).max(), 1e-12) / 127.0
+        k_scale = max(np.abs(keys).max(), 1e-12) / 127.0
+        q_int = np.clip(np.round(query / q_scale), -127, 127).astype(np.int64)
+        k_int = np.clip(np.round(keys / k_scale), -127, 127).astype(np.int64)
+        k = max(1, int(round(keep_fraction * keys.shape[0])))
+        return value_topk_select(q_int, k_int, k, prediction_bits=prediction_bits).selected
+
+    return predictor
+
+
+def attention_sparsity(results: Sequence[BGPPResult], n_keys: int) -> float:
+    """Average fraction of keys *pruned* by BGPP over a batch of query rows."""
+    if not results or n_keys == 0:
+        return 0.0
+    kept = np.mean([r.selected.size / n_keys for r in results])
+    return float(1.0 - kept)

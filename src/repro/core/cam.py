@@ -1,0 +1,123 @@
+"""Functional model of the CAM-based fast-match unit (paper §4.3, Fig. 14).
+
+The BRCR hardware needs to find, for every possible ``m``-bit search key, the
+set of weight columns whose group code equals that key.  MCBP does this with a
+small content-addressable memory split into a high-order and a low-order bank
+(2 bits each for ``m = 4``); a search reads one row from each bank and ANDs
+the two bitmaps, producing the match bitmap in a single cycle.
+
+This module reproduces that behaviour functionally and counts the cycles and
+search events the hardware would spend, including the clock-gating of the
+all-zero key (search key ``0`` is never issued, paper Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .brcr import column_codes
+
+__all__ = ["CAMStats", "CAMMatchUnit"]
+
+
+@dataclass
+class CAMStats:
+    """Activity counters of one CAM match pass."""
+
+    searches: int = 0
+    gated_searches: int = 0
+    matched_columns: int = 0
+    load_cycles: int = 0
+
+    @property
+    def search_cycles(self) -> int:
+        """One cycle per issued (non-gated) search key."""
+        return self.searches
+
+    @property
+    def total_cycles(self) -> int:
+        return self.load_cycles + self.search_cycles
+
+
+class CAMMatchUnit:
+    """Content-addressable match over the columns of one group matrix.
+
+    Parameters
+    ----------
+    group_size:
+        The paper's ``m``.  The CAM is built from 2-bit basic blocks, so the
+        unit models ``ceil(m / 2)`` banks that are ANDed together on a search.
+    capacity:
+        Number of columns the CAM can hold at once (the paper uses a 512 B CAM
+        holding 64 columns per PE); longer group matrices are processed in
+        windows of this size.
+    """
+
+    def __init__(self, group_size: int = 4, capacity: int = 64) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.group_size = group_size
+        self.capacity = capacity
+        self.n_banks = (group_size + 1) // 2
+        self._codes: np.ndarray = np.zeros(0, dtype=np.int64)
+        self.stats = CAMStats()
+
+    # -- loading ------------------------------------------------------------
+
+    def load_group(self, group_matrix: np.ndarray) -> None:
+        """Orchestrate the columns of an ``m x H`` binary group matrix into the CAM."""
+        group_matrix = np.asarray(group_matrix)
+        if group_matrix.ndim != 2 or group_matrix.shape[0] != self.group_size:
+            raise ValueError(
+                f"expected a {self.group_size} x H group matrix, got shape "
+                f"{group_matrix.shape}"
+            )
+        self._codes = column_codes(group_matrix)
+        # one cycle per window of `capacity` columns to fill the CAM banks
+        self.stats.load_cycles += int(np.ceil(self._codes.size / self.capacity))
+
+    # -- searching ----------------------------------------------------------
+
+    def search(self, key: int) -> np.ndarray:
+        """Return the match bitmap (bool array over columns) for one search key."""
+        n_keys = 1 << self.group_size
+        if not 0 <= key < n_keys:
+            raise ValueError(f"search key {key} out of range for m={self.group_size}")
+        if key == 0:
+            # all-zero key is clock-gated: those columns contribute nothing
+            self.stats.gated_searches += 1
+            return np.zeros(self._codes.shape, dtype=bool)
+        self.stats.searches += 1
+        bitmap = self._codes == key
+        self.stats.matched_columns += int(bitmap.sum())
+        return bitmap
+
+    def enumerate_matches(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Iterate over all non-zero search keys, yielding ``(key, match bitmap)``.
+
+        Keys with no matching column are still searched (the controller
+        enumerates all ``2**m - 1`` keys, paper Fig. 14) but yield an empty
+        bitmap.
+        """
+        for key in range(1 << self.group_size):
+            bitmap = self.search(key)
+            if key == 0:
+                continue
+            yield key, bitmap
+
+    def match_table(self) -> Dict[int, np.ndarray]:
+        """Return ``{key: column indices}`` for every key present in the loaded group."""
+        table: Dict[int, np.ndarray] = {}
+        for key, bitmap in self.enumerate_matches():
+            idx = np.flatnonzero(bitmap)
+            if idx.size:
+                table[key] = idx
+        return table
+
+    def reset_stats(self) -> None:
+        self.stats = CAMStats()

@@ -1,0 +1,180 @@
+"""Functional MCBP engine: BSTC-compressed weights executed through BRCR,
+with BGPP-driven sparse attention (paper Fig. 6 execution flow).
+
+This ties the three algorithm components together the way the accelerator
+does:
+
+1. weights are compressed offline with BSTC and held in encoded form;
+2. at execution time each layer's planes are decoded and the integer GEMM is
+   carried out by BRCR (bit-exact against a dense integer GEMM);
+3. attention key selection runs through the BGPP progressive filter.
+
+The engine also accumulates the operation and traffic counters that the
+hardware cost models consume, so that an end-to-end functional run and the
+analytical model can be cross-checked on small configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .bgpp import BGPPConfig, BGPPResult, bgpp_select
+from .brcr import BRCRConfig, BRCRCost, brcr_gemm
+from .bstc import BSTCCodec, BSTCConfig, EncodedWeight
+
+__all__ = ["EngineStats", "MCBPLayer", "MCBPEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated across engine calls."""
+
+    gemm_calls: int = 0
+    dense_macs: int = 0
+    brcr_additions: int = 0
+    weight_bits_raw: int = 0
+    weight_bits_compressed: int = 0
+    kv_bits_loaded: int = 0
+    kv_bits_dense: int = 0
+    keys_selected: int = 0
+    keys_total: int = 0
+
+    @property
+    def compute_reduction(self) -> float:
+        """Dense bit-serial additions (8 per MAC) over BRCR additions."""
+        if self.brcr_additions == 0:
+            return float("inf") if self.dense_macs else 1.0
+        return (self.dense_macs * 8.0) / self.brcr_additions
+
+    @property
+    def weight_compression_ratio(self) -> float:
+        if self.weight_bits_compressed == 0:
+            return float("inf") if self.weight_bits_raw else 1.0
+        return self.weight_bits_raw / self.weight_bits_compressed
+
+    @property
+    def kv_traffic_fraction(self) -> float:
+        if self.kv_bits_dense == 0:
+            return 1.0
+        return self.kv_bits_loaded / self.kv_bits_dense
+
+    @property
+    def attention_keep_fraction(self) -> float:
+        if self.keys_total == 0:
+            return 1.0
+        return self.keys_selected / self.keys_total
+
+
+@dataclass
+class MCBPLayer:
+    """One BSTC-compressed integer weight matrix ready for BRCR execution."""
+
+    encoded: EncodedWeight
+    weight_shape: Tuple[int, int]
+    name: str = "layer"
+
+    @property
+    def raw_bits(self) -> int:
+        return self.encoded.raw_bits
+
+    @property
+    def compressed_bits(self) -> int:
+        return self.encoded.encoded_bits
+
+
+class MCBPEngine:
+    """Executes integer GEMMs and sparse attention the MCBP way.
+
+    Parameters
+    ----------
+    group_size:
+        BRCR/BSTC group granularity ``m`` (paper default 4).
+    weight_bits:
+        Bit width of the integer weights.
+    bgpp_config:
+        Progressive-prediction parameters used by :meth:`select_keys`.
+    """
+
+    def __init__(
+        self,
+        group_size: int = 4,
+        weight_bits: int = 8,
+        bgpp_config: Optional[BGPPConfig] = None,
+    ) -> None:
+        self.brcr_config = BRCRConfig(group_size=group_size, bits=weight_bits)
+        self.codec = BSTCCodec(BSTCConfig(group_size=group_size, bits=weight_bits))
+        self.bgpp_config = bgpp_config or BGPPConfig()
+        self.stats = EngineStats()
+        self._layers: Dict[str, MCBPLayer] = {}
+
+    # -- weight management ----------------------------------------------------
+
+    def register_weight(self, name: str, weight_q: np.ndarray) -> MCBPLayer:
+        """Offline step: BSTC-compress an integer weight matrix and store it."""
+        weight_q = np.asarray(weight_q)
+        encoded = self.codec.encode(weight_q)
+        layer = MCBPLayer(
+            encoded=encoded,
+            weight_shape=(int(weight_q.shape[0]), int(weight_q.shape[1])),
+            name=name,
+        )
+        self._layers[name] = layer
+        return layer
+
+    def layer_names(self) -> List[str]:
+        return sorted(self._layers)
+
+    # -- execution -------------------------------------------------------------
+
+    def gemm(self, name: str, activations_q: np.ndarray) -> np.ndarray:
+        """Integer GEMM of a registered layer against quantised activations.
+
+        Decodes the BSTC planes (counting the compressed weight traffic) and
+        runs BRCR; the result is exactly ``W_q @ X_q``.
+        """
+        if name not in self._layers:
+            raise KeyError(f"layer {name!r} was never registered")
+        layer = self._layers[name]
+        weight_q = self.codec.decode(layer.encoded)
+        outputs, cost = brcr_gemm(weight_q, activations_q, config=self.brcr_config)
+
+        acts = np.asarray(activations_q)
+        n_cols = 1 if acts.ndim == 1 else acts.shape[1]
+        self.stats.gemm_calls += 1
+        self.stats.dense_macs += layer.weight_shape[0] * layer.weight_shape[1] * n_cols
+        self.stats.brcr_additions += cost.total_additions
+        self.stats.weight_bits_raw += layer.raw_bits
+        self.stats.weight_bits_compressed += layer.compressed_bits
+        return outputs
+
+    def select_keys(self, query_q: np.ndarray, keys_q: np.ndarray) -> BGPPResult:
+        """BGPP key selection with KV-traffic accounting."""
+        keys_q = np.asarray(keys_q)
+        result = bgpp_select(query_q, keys_q, self.bgpp_config)
+        self.stats.kv_bits_loaded += result.kv_bits_loaded
+        self.stats.kv_bits_dense += int(keys_q.size) * self.bgpp_config.key_bits
+        self.stats.keys_selected += int(result.selected.size)
+        self.stats.keys_total += int(keys_q.shape[0])
+        return result
+
+    def sparse_attention_scores(
+        self, query_q: np.ndarray, keys_q: np.ndarray
+    ) -> Tuple[np.ndarray, BGPPResult]:
+        """Exact integer attention scores computed only for the BGPP-selected keys.
+
+        Unselected keys receive a score of ``-inf`` so that a downstream softmax
+        assigns them zero probability (the formal-compute stage of Fig. 3).
+        """
+        keys_q = np.asarray(keys_q, dtype=np.int64)
+        result = self.select_keys(query_q, keys_q)
+        scores = np.full(keys_q.shape[0], -np.inf, dtype=np.float64)
+        if result.selected.size:
+            selected_scores = keys_q[result.selected] @ np.asarray(query_q, dtype=np.int64)
+            scores[result.selected] = selected_scores.astype(np.float64)
+        return scores, result
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()

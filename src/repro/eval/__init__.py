@@ -1,0 +1,68 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from .ablation import (
+    hardware_ablation,
+    separate_technique_effects,
+    technique_latency_ablation,
+)
+from .accuracy import (
+    FidelityMetrics,
+    accuracy_proxy_table,
+    alpha_sweep,
+    fidelity_metrics,
+    quantization_sparsity_study,
+)
+from .breakdown import latency_breakdown_vs_prompt, latency_components
+from .comparison import (
+    cambricon_comparison,
+    normalized_computation_prefill,
+    normalized_memory_access_decoding,
+    sota_spec_table,
+    sota_stage_comparison,
+)
+from .dse import (
+    bit_vs_value_sparsity,
+    compression_ratio_vs_group_size,
+    group_size_dse,
+    merge_strategy_comparison,
+    optimal_group_size,
+    plane_sparsity_by_model,
+)
+from .gpu_comparison import (
+    MCBP_PROCESSORS_FOR_GPU_PARITY,
+    bit_shift_overhead,
+    gain_breakdown,
+    throughput_and_efficiency_vs_gpu,
+)
+from .reporting import format_nested_table, format_table, format_value
+
+__all__ = [
+    "latency_components",
+    "latency_breakdown_vs_prompt",
+    "normalized_computation_prefill",
+    "normalized_memory_access_decoding",
+    "sota_stage_comparison",
+    "cambricon_comparison",
+    "sota_spec_table",
+    "technique_latency_ablation",
+    "separate_technique_effects",
+    "hardware_ablation",
+    "compression_ratio_vs_group_size",
+    "plane_sparsity_by_model",
+    "group_size_dse",
+    "optimal_group_size",
+    "merge_strategy_comparison",
+    "bit_vs_value_sparsity",
+    "throughput_and_efficiency_vs_gpu",
+    "gain_breakdown",
+    "bit_shift_overhead",
+    "MCBP_PROCESSORS_FOR_GPU_PARITY",
+    "FidelityMetrics",
+    "fidelity_metrics",
+    "accuracy_proxy_table",
+    "alpha_sweep",
+    "quantization_sparsity_study",
+    "format_table",
+    "format_nested_table",
+    "format_value",
+]

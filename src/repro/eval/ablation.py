@@ -1,0 +1,173 @@
+"""Ablation studies of MCBP's three techniques (paper Figs. 19 and 24b).
+
+* :func:`technique_latency_ablation` adds BRCR, BSTC and BGPP one at a time on
+  top of the vanilla baseline (bit-serial compute + value-level compression +
+  value-level top-k) and reports end-to-end latency, reproducing Fig. 19(a).
+* :func:`separate_technique_effects` measures each technique in isolation on
+  prompt-heavy (Dolly) and decode-heavy (MBPP) workloads, Fig. 19(b).
+* :func:`hardware_ablation` reports the incremental area/power/throughput/
+  efficiency of the three engines against a same-throughput systolic array,
+  Fig. 24(b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.accelerators import SystolicArrayAccelerator
+from ..hw.accelerator import MCBPAccelerator
+from ..hw.area import AREA_FRACTIONS, CORE_POWER_FRACTIONS
+from ..workloads.profile import profile_model
+from ..workloads.tasks import EVALUATED_MODELS, make_workload
+
+__all__ = [
+    "technique_latency_ablation",
+    "separate_technique_effects",
+    "hardware_ablation",
+]
+
+_ABLATION_STEPS = (
+    ("Baseline", dict(use_brcr=False, use_bstc=False, use_bgpp=False)),
+    ("+BRCR", dict(use_brcr=True, use_bstc=False, use_bgpp=False)),
+    ("+BSTC", dict(use_brcr=True, use_bstc=True, use_bgpp=False)),
+    ("+BGPP", dict(use_brcr=True, use_bstc=True, use_bgpp=True)),
+)
+
+
+def technique_latency_ablation(
+    models: Sequence[str] = tuple(EVALUATED_MODELS),
+    task_name: str = "Wikilingua",
+    batch: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Normalised end-to-end latency as BRCR, BSTC and BGPP are enabled (Fig. 19a).
+
+    Returns ``{model: {step: normalised latency}}`` with the baseline at 1.0.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        profile = profile_model(model)
+        workload = make_workload(model, task_name, batch=batch)
+        latencies: Dict[str, float] = {}
+        for step_name, flags in _ABLATION_STEPS:
+            report = MCBPAccelerator(**flags).evaluate(workload, profile)
+            latencies[step_name] = report.total_latency_s
+        base = latencies["Baseline"]
+        out[model] = {k: v / base for k, v in latencies.items()}
+    mean = {
+        step: sum(out[m][step] for m in out) / len(out) for step, _ in _ABLATION_STEPS
+    }
+    out["Mean"] = mean
+    return out
+
+
+def separate_technique_effects(
+    model_name: str = "Llama7B",
+    batch: int = 8,
+    dolly_prompts: Sequence[int] = (1024, 4096),
+    mbpp_decodes: Sequence[int] = (1024, 4096),
+) -> Dict[str, Dict[str, float]]:
+    """Per-technique speedup on prompt-heavy and decode-heavy tasks (Fig. 19b).
+
+    Dolly keeps a ~48-token decode and sweeps the prompt length (prefill /
+    GEMM-bound); MBPP keeps a ~48-token prompt and sweeps the decode length
+    (weight/KV-traffic bound).  Each technique is enabled alone on top of the
+    vanilla baseline and its speedup over that baseline reported.
+    """
+    profile = profile_model(model_name)
+    single_technique = {
+        "BRCR": dict(use_brcr=True, use_bstc=False, use_bgpp=False),
+        "BSTC": dict(use_brcr=False, use_bstc=True, use_bgpp=False),
+        "BGPP": dict(use_brcr=False, use_bstc=False, use_bgpp=True),
+    }
+    baseline_flags = dict(use_brcr=False, use_bstc=False, use_bgpp=False)
+
+    scenarios: Dict[str, Dict[str, int]] = {}
+    for p in dolly_prompts:
+        scenarios[f"Dolly-prompt{p}"] = {"prompt_len": p, "decode_len": 48, "task": "Dolly"}
+    for d in mbpp_decodes:
+        scenarios[f"MBPP-decode{d}"] = {"prompt_len": 48, "decode_len": d, "task": "MBPP"}
+
+    out: Dict[str, Dict[str, float]] = {}
+    for scen_name, scen in scenarios.items():
+        workload = make_workload(
+            model_name,
+            scen["task"],
+            batch=batch,
+            prompt_len=scen["prompt_len"],
+            decode_len=scen["decode_len"],
+        )
+        base = MCBPAccelerator(**baseline_flags).evaluate(workload, profile)
+        row: Dict[str, float] = {}
+        for tech, flags in single_technique.items():
+            report = MCBPAccelerator(**flags).evaluate(workload, profile)
+            row[tech] = base.total_latency_s / report.total_latency_s
+        out[scen_name] = row
+    return out
+
+
+def hardware_ablation(
+    model_name: str = "Llama7B",
+    task_name: str = "Wikilingua",
+    batch: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Incremental hardware cost and benefit of the three engines (Fig. 24b).
+
+    The systolic-array reference provides the same nominal throughput budget;
+    each step adds one engine, paying its area/power overhead (from the
+    published breakdowns) and gaining its measured throughput improvement.
+    Values are normalised to the systolic array.
+    """
+    profile = profile_model(model_name)
+    workload = make_workload(model_name, task_name, batch=batch)
+
+    systolic = SystolicArrayAccelerator().evaluate(workload, profile)
+
+    steps = {
+        "SystolicArray": dict(use_brcr=False, use_bstc=False, use_bgpp=False),
+        "BRCR": dict(use_brcr=True, use_bstc=False, use_bgpp=False),
+        "+BSTC": dict(use_brcr=True, use_bstc=True, use_bgpp=False),
+        "+BGPP": dict(use_brcr=True, use_bstc=True, use_bgpp=True),
+    }
+    # Relative area/power of each incremental engine, from Fig. 22 fractions.
+    area_increment = {
+        "SystolicArray": 1.0,
+        "BRCR": AREA_FRACTIONS["brcr_unit"] + AREA_FRACTIONS["scheduler"],
+        "+BSTC": AREA_FRACTIONS["bstc_unit"],
+        "+BGPP": AREA_FRACTIONS["bgpp_unit"],
+    }
+    power_increment = {
+        "SystolicArray": 1.0,
+        "BRCR": CORE_POWER_FRACTIONS["brcr_unit"] + CORE_POWER_FRACTIONS["scheduler"],
+        "+BSTC": CORE_POWER_FRACTIONS["bstc_unit"],
+        "+BGPP": CORE_POWER_FRACTIONS["bgpp_unit"],
+    }
+
+    out: Dict[str, Dict[str, float]] = {}
+    cumulative_area = 0.0
+    cumulative_power = 0.0
+    for step, flags in steps.items():
+        if step == "SystolicArray":
+            report = systolic
+            cumulative_area = 1.0
+            cumulative_power = 1.0
+        else:
+            report = MCBPAccelerator(**flags).evaluate(workload, profile)
+            # BRCR replaces the MAC array with bit-serial PEs: its area/power
+            # substitute for (rather than add to) the systolic datapath.
+            if step == "BRCR":
+                cumulative_area = 0.45 + area_increment[step]
+                cumulative_power = 0.20 + power_increment[step]
+            else:
+                cumulative_area += area_increment[step]
+                cumulative_power += power_increment[step]
+        throughput = systolic.total_latency_s / report.total_latency_s
+        efficiency = (
+            systolic.total_energy_j / report.total_energy_j
+        ) if report.total_energy_j else 0.0
+        out[step] = {
+            "area": cumulative_area,
+            "power": cumulative_power,
+            "throughput": throughput,
+            "energy_efficiency": efficiency,
+        }
+    return out

@@ -1,0 +1,231 @@
+"""Accelerator comparison experiments (paper Figs. 17, 23, 26 and Table 4).
+
+All comparisons evaluate the same workloads with the same measured algorithm
+profiles; only the accelerator model changes, so the normalised computation /
+memory-access / speedup / energy numbers isolate what each design's
+optimisation can exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.accelerators import (
+    SOTA_ACCELERATORS,
+    BitwaveAccelerator,
+    CambriconCAccelerator,
+    EnergonAccelerator,
+    FACTAccelerator,
+    FuseKNAAccelerator,
+    SOFAAccelerator,
+    SpAttenAccelerator,
+)
+from ..hw.accelerator import AcceleratorReport, AnalyticalAccelerator, MCBPAccelerator
+from ..workloads.profile import AlgorithmProfile, profile_model
+from ..workloads.tasks import EVALUATED_MODELS, Workload, make_workload
+
+__all__ = [
+    "normalized_computation_prefill",
+    "normalized_memory_access_decoding",
+    "sota_stage_comparison",
+    "cambricon_comparison",
+    "sota_spec_table",
+]
+
+# Accelerators used in Fig. 17 (computation) -- SOFA is the normalisation base.
+_FIG17_COMPUTE_ORDER = ["SOFA", "SpAtten", "FACT", "Bitwave", "FuseKNA", "MCBP"]
+# Accelerators used in Fig. 17 (memory access) -- FuseKNA is the base.
+_FIG17_MEMORY_ORDER = ["FuseKNA", "FACT", "SpAtten", "Energon", "Bitwave", "MCBP"]
+
+
+def _accelerator(name: str, quant_scheme: str = "ptq_int8") -> AnalyticalAccelerator:
+    if name == "MCBP":
+        return MCBPAccelerator()
+    if name == "MCBP-aggressive":
+        return MCBPAccelerator(aggressive=True)
+    return SOTA_ACCELERATORS[name]()
+
+
+def normalized_computation_prefill(
+    models: Sequence[str] = tuple(EVALUATED_MODELS),
+    task_name: str = "Wikilingua",
+    accelerators: Sequence[str] = tuple(_FIG17_COMPUTE_ORDER),
+    baseline: str = "SOFA",
+) -> Dict[str, Dict[str, float]]:
+    """Normalised prefill computation per accelerator per model (Fig. 17 left).
+
+    Computation is the number of physical datapath operations each design
+    executes for the prefill stage, normalised to the ``baseline`` design
+    (value 1.0), so lower is better.
+    """
+    results: Dict[str, Dict[str, float]] = {name: {} for name in accelerators}
+    for model in models:
+        profile = profile_model(model)
+        workload = make_workload(model, task_name)
+        ops: Dict[str, float] = {}
+        bit_serial_designs = {"MCBP", "MCBP-aggressive", "Bitwave", "FuseKNA"}
+        for name in accelerators:
+            report = _accelerator(name).evaluate(workload, profile)
+            # bit-serial designs count additions; divide by the weight bit
+            # width to compare in MAC-equivalents against value-level designs.
+            scale = 1.0 / profile.weight_bits if name in bit_serial_designs else 1.0
+            ops[name] = report.prefill.physical_ops * scale
+        base = ops[baseline]
+        for name in accelerators:
+            results[name][model] = ops[name] / base if base else 0.0
+    for name in accelerators:
+        vals = list(results[name].values())
+        results[name]["Mean"] = sum(vals) / len(vals) if vals else 0.0
+    return results
+
+
+def normalized_memory_access_decoding(
+    models: Sequence[str] = tuple(EVALUATED_MODELS),
+    task_name: str = "Wikilingua",
+    accelerators: Sequence[str] = tuple(_FIG17_MEMORY_ORDER),
+    baseline: str = "FuseKNA",
+) -> Dict[str, Dict[str, float]]:
+    """Normalised decoding-stage DRAM traffic per accelerator (Fig. 17 right)."""
+    results: Dict[str, Dict[str, float]] = {name: {} for name in accelerators}
+    for model in models:
+        profile = profile_model(model)
+        workload = make_workload(model, task_name)
+        traffic: Dict[str, float] = {}
+        for name in accelerators:
+            report = _accelerator(name).evaluate(workload, profile)
+            traffic[name] = report.decode.dram_bytes
+        base = traffic[baseline]
+        for name in accelerators:
+            results[name][model] = traffic[name] / base if base else 0.0
+    for name in accelerators:
+        vals = list(results[name].values())
+        results[name]["Mean"] = sum(vals) / len(vals) if vals else 0.0
+    return results
+
+
+def sota_stage_comparison(
+    model_name: str = "Llama7B",
+    tasks: Sequence[str] = ("Dolly", "Wikilingua", "MBPP"),
+    stage: str = "prefill",
+    accelerators: Sequence[str] = ("SOFA", "SpAtten", "FACT", "Bitwave", "FuseKNA", "MCBP"),
+    baseline: str = "SOFA",
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-task speedup and energy breakdown versus SOTA accelerators (Fig. 23).
+
+    Returns ``{task: {accelerator: {speedup, energy_total, energy_compute,
+    energy_bit_reorder, energy_offchip}}}`` with energy normalised to the
+    baseline design for that task.
+    """
+    profile = profile_model(model_name)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for task in tasks:
+        workload = make_workload(model_name, task)
+        reports: Dict[str, AcceleratorReport] = {
+            name: _accelerator(name).evaluate(workload, profile) for name in accelerators
+        }
+        base_report = reports[baseline]
+        base_stage = getattr(base_report, stage)
+        base_latency = base_stage.latency_cycles
+        base_energy = base_stage.total_energy_pj
+        task_out: Dict[str, Dict[str, float]] = {}
+        for name, report in reports.items():
+            stage_cost = getattr(report, stage)
+            breakdown = stage_cost.energy_breakdown()
+            total = stage_cost.total_energy_pj
+            task_out[name] = {
+                "speedup": base_latency / stage_cost.latency_cycles
+                if stage_cost.latency_cycles
+                else 0.0,
+                "energy_total": total / base_energy if base_energy else 0.0,
+                "energy_compute": (breakdown["compute"] + breakdown["sram"]) / base_energy
+                if base_energy
+                else 0.0,
+                "energy_bit_reorder": breakdown["bit_reorder"] / base_energy
+                if base_energy
+                else 0.0,
+                "energy_offchip": (breakdown["dram"] + breakdown["prediction"]) / base_energy
+                if base_energy
+                else 0.0,
+            }
+        out[task] = task_out
+    # mean across tasks
+    mean: Dict[str, Dict[str, float]] = {}
+    for name in accelerators:
+        keys = out[tasks[0]][name].keys()
+        mean[name] = {
+            k: sum(out[t][name][k] for t in tasks) / len(tasks) for k in keys
+        }
+    out["Mean"] = mean
+    return out
+
+
+def cambricon_comparison(
+    models: Sequence[str] = ("Llama13B", "Llama7B", "Bloom1B7"),
+    task_name: str = "Dolly",
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """MCBP vs Cambricon-C (W4A8) on the Dolly task (Fig. 26).
+
+    Both designs run the INT4-quantised profile; the comparison reports
+    per-stage speedup and normalised energy.
+    """
+    out: Dict[str, Dict[str, Dict[str, float]]] = {"prefill": {}, "decode": {}}
+    for model in models:
+        profile = profile_model(model, quant_scheme="ptq_int4")
+        workload = make_workload(model, task_name)
+        cam = CambriconCAccelerator().evaluate(workload, profile)
+        mcbp = MCBPAccelerator().evaluate(workload, profile)
+        for stage in ("prefill", "decode"):
+            cam_cost = getattr(cam, stage)
+            mcbp_cost = getattr(mcbp, stage)
+            out[stage][model] = {
+                "speedup": cam_cost.latency_cycles / mcbp_cost.latency_cycles
+                if mcbp_cost.latency_cycles
+                else 0.0,
+                "energy_ratio": mcbp_cost.total_energy_pj / cam_cost.total_energy_pj
+                if cam_cost.total_energy_pj
+                else 0.0,
+            }
+    return out
+
+
+# Published specs (Table 4) for reference comparison; throughput in GOPS,
+# efficiency in GOPS/W, technology in nm, area in mm^2.
+_PUBLISHED_SPECS = {
+    "SpAtten": {"technology_nm": 40, "area_mm2": 1.55, "throughput_gops": 360.0,
+                 "efficiency_gops_w": 382.0, "stages": "Prefill (attention)"},
+    "FACT": {"technology_nm": 28, "area_mm2": 6.03, "throughput_gops": 1153.0,
+              "efficiency_gops_w": 4388.0, "stages": "Prefill (whole model)"},
+    "SOFA": {"technology_nm": 28, "area_mm2": 4.29, "throughput_gops": 24423.0,
+              "efficiency_gops_w": 7183.0, "stages": "Prefill (attention)"},
+    "MCBP": {"technology_nm": 28, "area_mm2": 9.52, "throughput_gops": 54463.0,
+              "efficiency_gops_w": 22740.0, "stages": "Prefill + Decode (whole model)"},
+}
+
+
+def sota_spec_table(
+    model_name: str = "Llama7B", task_name: str = "Wikilingua"
+) -> Dict[str, Dict[str, object]]:
+    """Table 4: published specs plus this framework's measured efficiency ratios.
+
+    The paper's table quotes each accelerator's own reported throughput /
+    efficiency; this function adds a same-workload efficiency ratio measured
+    with the analytical models so both views are available.
+    """
+    profile = profile_model(model_name)
+    workload = make_workload(model_name, task_name)
+    mcbp_report = MCBPAccelerator().evaluate(workload, profile)
+    table: Dict[str, Dict[str, object]] = {}
+    for name, spec in _PUBLISHED_SPECS.items():
+        entry = dict(spec)
+        if name == "MCBP":
+            entry["measured_efficiency_ratio_vs_mcbp"] = 1.0
+        else:
+            report = _accelerator(name).evaluate(workload, profile)
+            entry["measured_efficiency_ratio_vs_mcbp"] = (
+                mcbp_report.energy_efficiency_gops_per_w
+                / report.energy_efficiency_gops_per_w
+                if report.energy_efficiency_gops_per_w
+                else float("inf")
+            )
+        table[name] = entry
+    return table

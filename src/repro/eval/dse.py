@@ -1,0 +1,166 @@
+"""Design-space exploration experiments (paper Figs. 8b, 8c, 18 and 5b/5d).
+
+These studies sweep the group size ``m`` and sparsity ratio to locate the
+sweet spot the paper settles on (``m = 4``): large enough to expose column
+repetition and all-zero coded columns, small enough that the exponential
+reconstruction cost and the per-column indicator bit stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.brcr import brcr_additions, bit_serial_additions, group_merge_reduction
+from ..core.bstc import BSTCCodec, BSTCConfig, analytic_compression_ratio
+from ..sparsity.metrics import plane_sparsity_profile, sparsity_comparison_table
+from ..sparsity.synthetic import gaussian_int_weights
+from ..workloads.profile import profile_model
+from ..workloads.tasks import EVALUATED_MODELS
+
+__all__ = [
+    "compression_ratio_vs_group_size",
+    "plane_sparsity_by_model",
+    "group_size_dse",
+    "merge_strategy_comparison",
+    "bit_vs_value_sparsity",
+]
+
+
+def compression_ratio_vs_group_size(
+    sparsity_ratios: Sequence[float] = (0.95, 0.9, 0.85, 0.75, 0.65),
+    group_sizes: Sequence[int] = tuple(range(1, 11)),
+) -> Dict[float, List[float]]:
+    """Analytic BSTC compression ratio as a function of (SR, m) -- Fig. 8(b)."""
+    return {
+        sr: [analytic_compression_ratio(sr, m) for m in group_sizes]
+        for sr in sparsity_ratios
+    }
+
+
+def plane_sparsity_by_model(
+    models: Sequence[str] = ("Llama7B", "Qwen7B"),
+    bits: int = 8,
+    rows: int = 256,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Per-bit-position sparsity of synthetic weights per model -- Fig. 8(c)."""
+    from ..model.config import get_model_config
+
+    out: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        config = get_model_config(model)
+        weights = gaussian_int_weights(
+            (rows, min(config.hidden_size, 4096)), bits=bits, seed=seed
+        )
+        out[model] = plane_sparsity_profile(weights, bits=bits)
+    return out
+
+
+def group_size_dse(
+    group_sizes: Sequence[int] = tuple(range(1, 10)),
+    hidden: int = 4096,
+    bits: int = 8,
+    sparsity_levels: Sequence[float] = (0.75, 0.95),
+    rows: int = 128,
+    seed: int = 0,
+) -> Dict[int, Dict[str, float]]:
+    """Joint DSE of computation reduction and compression ratio vs ``m`` (Fig. 18).
+
+    For each group size the analytic BRCR addition count is compared against
+    the sparsity-aware bit-serial baseline at a low and a high bit-sparsity
+    level (giving the min/max computation-reduction band the paper plots), and
+    the measured BSTC compression ratio on a synthetic weight sample is
+    reported alongside.
+    """
+    weights = gaussian_int_weights((rows, hidden), bits=bits, seed=seed)
+    out: Dict[int, Dict[str, float]] = {}
+    for m in group_sizes:
+        reductions = []
+        for bs in sparsity_levels:
+            brcr = brcr_additions(hidden, bits, m, bs, rows=rows)
+            serial = bit_serial_additions(hidden, bits, m, bs, rows=rows)
+            reductions.append(serial / brcr if brcr else float("inf"))
+        codec = BSTCCodec(BSTCConfig(group_size=m, bits=bits))
+        cr = codec.encode(weights).compression_ratio
+        out[m] = {
+            "comp_reduction_min": float(min(reductions)),
+            "comp_reduction_max": float(max(reductions)),
+            "compression_ratio": float(cr),
+        }
+    return out
+
+
+def optimal_group_size(
+    dse: Optional[Dict[int, Dict[str, float]]] = None,
+    prefer_power_of_two: bool = True,
+) -> int:
+    """Pick the group size balancing computation reduction and compression.
+
+    Uses the product of the max computation reduction and the compression
+    ratio as the balance score.  Following the paper, candidates are
+    restricted to powers of two (a group size must evenly divide common
+    Transformer hidden dimensions to avoid ragged groups), which lands the
+    choice on ``m = 4`` for INT8 LLM weights.
+    """
+    dse = dse or group_size_dse()
+    candidates = [
+        m for m in dse
+        if not prefer_power_of_two or (m & (m - 1)) == 0
+    ]
+    best_m, best_score = candidates[0], -1.0
+    for m in candidates:
+        row = dse[m]
+        # geometric mean of the low- and high-sparsity computation reduction,
+        # weighted by the compression ratio: robust across the sparsity range
+        # the planes actually span.
+        comp = float(
+            np.sqrt(row["comp_reduction_min"] * row["comp_reduction_max"])
+        )
+        score = comp * row["compression_ratio"]
+        if score > best_score:
+            best_m, best_score = m, score
+    return best_m
+
+
+def merge_strategy_comparison(
+    models: Sequence[str] = tuple(EVALUATED_MODELS),
+    group_size: int = 4,
+    rows: int = 128,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Full-size vs group-wise merge computation reduction per model (Fig. 5b)."""
+    from ..model.config import get_model_config
+
+    out: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        config = get_model_config(model)
+        weights = gaussian_int_weights(
+            (rows, min(config.hidden_size, 2048)), bits=8, seed=seed
+        )
+        full, group = group_merge_reduction(weights, group_size, bits=8)
+        out[model] = {"full_size": full, "group_wise": group, "ratio": group / full}
+    means = {
+        key: float(np.mean([out[m][key] for m in out])) for key in ("full_size", "group_wise", "ratio")
+    }
+    out["Mean"] = means
+    return out
+
+
+def bit_vs_value_sparsity(
+    models: Sequence[str] = tuple(EVALUATED_MODELS),
+    rows: int = 256,
+    bits: int = 8,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Value sparsity vs mean bit sparsity per model (Fig. 5d / Fig. 25b)."""
+    from ..model.config import get_model_config
+
+    weight_sets = {}
+    for model in models:
+        config = get_model_config(model)
+        weight_sets[model] = gaussian_int_weights(
+            (rows, min(config.hidden_size, 4096)), bits=bits, seed=seed
+        )
+    return sparsity_comparison_table(weight_sets, bits=bits)

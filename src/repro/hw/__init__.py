@@ -1,0 +1,42 @@
+"""Hardware cost models: technology constants, area/power, accelerator framework."""
+
+from .accelerator import (
+    AcceleratorReport,
+    AnalyticalAccelerator,
+    MCBPAccelerator,
+    StageCost,
+    dense_stage_quantities,
+)
+from .area import (
+    AREA_FRACTIONS,
+    CORE_POWER_FRACTIONS,
+    TOTAL_POWER_FRACTIONS,
+    AreaBreakdown,
+    PowerBreakdown,
+    mcbp_area_breakdown,
+    mcbp_power_breakdown,
+)
+from .constants import DEFAULT_TECH, MCBP_HW_CONFIG, MCBPHardwareConfig, TechnologyConstants
+from .tiling import GemmTiling, TileConfig, plan_gemm_tiling
+
+__all__ = [
+    "TileConfig",
+    "GemmTiling",
+    "plan_gemm_tiling",
+    "TechnologyConstants",
+    "DEFAULT_TECH",
+    "MCBPHardwareConfig",
+    "MCBP_HW_CONFIG",
+    "StageCost",
+    "AcceleratorReport",
+    "AnalyticalAccelerator",
+    "MCBPAccelerator",
+    "dense_stage_quantities",
+    "AreaBreakdown",
+    "PowerBreakdown",
+    "mcbp_area_breakdown",
+    "mcbp_power_breakdown",
+    "AREA_FRACTIONS",
+    "CORE_POWER_FRACTIONS",
+    "TOTAL_POWER_FRACTIONS",
+]

@@ -1,0 +1,466 @@
+"""Analytical accelerator cost framework and the MCBP accelerator model.
+
+The paper evaluates MCBP with an RTL prototype plus CACTI/Ramulator memory
+models.  Here every accelerator (MCBP and the prior-work baselines) is an
+:class:`AnalyticalAccelerator`: a set of hooks describing *which* redundancy
+the design can exploit (compute reduction, weight compression, KV-prediction
+traffic) layered on top of a shared cycle/energy accounting core.  Because all
+designs share the same accounting core and the same measured workload
+profiles, relative comparisons (speedup, energy ratios, traffic reductions)
+are apples-to-apples -- which is what the paper's figures report.
+
+Latency model: compute and memory transfers are double-buffered, so each
+stage's latency is ``max(compute_cycles, memory_cycles)`` plus a small
+pipeline fill overhead.  Energy model: per-event energies from
+:class:`repro.hw.constants.TechnologyConstants` applied to the counted
+operations, SRAM traffic, DRAM traffic and (where applicable) bit-reorder and
+prediction work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..model.generation import stage_gemm_macs
+from ..workloads.profile import AlgorithmProfile
+from ..workloads.tasks import Workload
+from .constants import DEFAULT_TECH, MCBP_HW_CONFIG, MCBPHardwareConfig, TechnologyConstants
+
+__all__ = [
+    "StageCost",
+    "AcceleratorReport",
+    "AnalyticalAccelerator",
+    "MCBPAccelerator",
+    "dense_stage_quantities",
+]
+
+
+# ---------------------------------------------------------------------------
+# Cost containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StageCost:
+    """Cycles, traffic and energy of one inference stage on one processor."""
+
+    stage: str
+    effective_macs: float = 0.0
+    physical_ops: float = 0.0
+    weight_bytes: float = 0.0
+    kv_bytes: float = 0.0
+    activation_bytes: float = 0.0
+    prediction_bytes: float = 0.0
+    bit_reorder_bits: float = 0.0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    compute_energy_pj: float = 0.0
+    sram_energy_pj: float = 0.0
+    dram_energy_pj: float = 0.0
+    reorder_energy_pj: float = 0.0
+    prediction_energy_pj: float = 0.0
+
+    @property
+    def dram_bytes(self) -> float:
+        return (
+            self.weight_bytes
+            + self.kv_bytes
+            + self.activation_bytes
+            + self.prediction_bytes
+        )
+
+    @property
+    def latency_cycles(self) -> float:
+        """Double-buffered pipeline: the slower of compute and memory dominates."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return (
+            self.compute_energy_pj
+            + self.sram_energy_pj
+            + self.dram_energy_pj
+            + self.reorder_energy_pj
+            + self.prediction_energy_pj
+        )
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        return {
+            "compute": self.compute_energy_pj,
+            "sram": self.sram_energy_pj,
+            "dram": self.dram_energy_pj,
+            "bit_reorder": self.reorder_energy_pj,
+            "prediction": self.prediction_energy_pj,
+        }
+
+
+@dataclass
+class AcceleratorReport:
+    """End-to-end result of evaluating one workload on one accelerator."""
+
+    accelerator: str
+    workload: Workload
+    prefill: StageCost
+    decode: StageCost
+    n_processors: int = 1
+    frequency_hz: float = DEFAULT_TECH.frequency_hz
+    idle_power_w: float = 0.0
+
+    @property
+    def total_latency_cycles(self) -> float:
+        return (self.prefill.latency_cycles + self.decode.latency_cycles) / self.n_processors
+
+    @property
+    def total_latency_s(self) -> float:
+        return self.total_latency_cycles / self.frequency_hz
+
+    @property
+    def prefill_latency_s(self) -> float:
+        return self.prefill.latency_cycles / self.n_processors / self.frequency_hz
+
+    @property
+    def decode_latency_s(self) -> float:
+        return self.decode.latency_cycles / self.n_processors / self.frequency_hz
+
+    @property
+    def total_energy_j(self) -> float:
+        dynamic = (self.prefill.total_energy_pj + self.decode.total_energy_pj) * 1e-12
+        static = self.idle_power_w * self.n_processors * self.total_latency_s
+        return dynamic + static
+
+    @property
+    def effective_ops(self) -> float:
+        """Dense INT8-equivalent operations represented (2 ops per MAC)."""
+        return 2.0 * (self.prefill.effective_macs + self.decode.effective_macs)
+
+    @property
+    def throughput_gops(self) -> float:
+        if self.total_latency_s <= 0:
+            return 0.0
+        return self.effective_ops / self.total_latency_s / 1e9
+
+    @property
+    def energy_efficiency_gops_per_w(self) -> float:
+        """Effective GOPS per watt, i.e. effective giga-operations per joule."""
+        if self.total_energy_j <= 0:
+            return 0.0
+        return (self.effective_ops / 1e9) / self.total_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.total_latency_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.total_latency_s
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return self.prefill.dram_bytes + self.decode.dram_bytes
+
+
+# ---------------------------------------------------------------------------
+# Dense workload quantities
+# ---------------------------------------------------------------------------
+
+
+def dense_stage_quantities(workload: Workload) -> Dict[str, float]:
+    """Dense (un-optimised) per-stage MACs and DRAM traffic for a workload.
+
+    Weight traffic assumptions: the prefill stage streams the full weight set
+    once (activations for the whole prompt are batched against each tile);
+    every decoding step re-streams the full weights (they exceed on-chip SRAM
+    for all evaluated models) but the stream is shared across the batch.  KV
+    traffic: prefill writes the prompt's KV tensors once; every decoding step
+    reads the entire cache accumulated so far plus writes one new entry.
+    """
+    model = workload.model
+    macs = stage_gemm_macs(
+        model, workload.prompt_len, workload.decode_len, batch=workload.batch
+    )
+    weight_bytes = float(model.weight_bytes(bits=8))
+
+    prefill_kv_write = float(model.kv_cache_bytes(workload.prompt_len, workload.batch))
+    avg_context = workload.prompt_len + workload.decode_len / 2.0
+    decode_kv_read = float(
+        workload.decode_len * model.kv_cache_bytes(int(avg_context), workload.batch)
+    )
+    decode_kv_write = float(model.kv_cache_bytes(workload.decode_len, workload.batch))
+
+    act_bytes_prefill = float(
+        2 * workload.prompt_len * model.hidden_size * model.n_layers * workload.batch
+    )
+    act_bytes_decode = float(
+        2 * workload.decode_len * model.hidden_size * model.n_layers * workload.batch
+    )
+
+    return {
+        "prefill_linear_macs": macs["prefill_linear_macs"],
+        "prefill_attention_macs": macs["prefill_attention_macs"],
+        "decode_linear_macs": macs["decode_linear_macs"],
+        "decode_attention_macs": macs["decode_attention_macs"],
+        "prefill_weight_bytes": weight_bytes,
+        "decode_weight_bytes": weight_bytes * workload.decode_len,
+        "prefill_kv_bytes": prefill_kv_write,
+        "decode_kv_bytes": decode_kv_read + decode_kv_write,
+        "prefill_act_bytes": act_bytes_prefill,
+        "decode_act_bytes": act_bytes_decode,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Base analytical accelerator
+# ---------------------------------------------------------------------------
+
+
+class AnalyticalAccelerator:
+    """Dense INT8 accelerator; subclasses override the optimisation hooks.
+
+    Attributes
+    ----------
+    name:
+        Display name used in reports.
+    peak_ops_per_cycle:
+        Physical operations the datapath retires per cycle (MACs for
+        value-level designs, bit-level additions for bit-serial designs).
+    op_energy_pj:
+        Energy per physical operation.
+    utilization:
+        Fraction of the peak the design sustains on these workloads.
+    """
+
+    name: str = "dense-int8"
+    peak_ops_per_cycle: float = 2048.0
+    op_energy_pj: float = DEFAULT_TECH.int8_mac_pj
+    utilization: float = 0.75
+    idle_power_w: float = 0.0
+    sram_reuse_factor: float = 2.0  # on-chip bytes moved per DRAM byte
+    # Override to give a design more (or less) DRAM bandwidth than the default
+    # 512-bit/cycle HBM interface, e.g. the A100's 2 TB/s.
+    hbm_bytes_per_cycle_override: Optional[float] = None
+    dram_energy_scale: float = 1.0
+
+    def __init__(self, tech: TechnologyConstants = DEFAULT_TECH) -> None:
+        self.tech = tech
+
+    @property
+    def hbm_bytes_per_cycle(self) -> float:
+        if self.hbm_bytes_per_cycle_override is not None:
+            return self.hbm_bytes_per_cycle_override
+        return self.tech.hbm_bytes_per_cycle
+
+    # -- optimisation hooks (dense defaults) ---------------------------------
+
+    def linear_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        """Physical ops per dense MAC for QKV/FFN GEMMs (1.0 = dense value-level)."""
+        return 1.0
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        """Physical ops per dense MAC for the attention GEMMs."""
+        return 1.0
+
+    def weight_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        """Multiplier on dense weight DRAM traffic."""
+        return 1.0
+
+    def kv_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        """Multiplier on dense KV DRAM traffic (formal compute portion)."""
+        return 1.0
+
+    def prediction_traffic_bytes(
+        self, workload: Workload, profile: AlgorithmProfile, stage: str,
+        dense_kv_bytes: float,
+    ) -> float:
+        """Extra DRAM traffic spent on attention-sparsity prediction."""
+        return 0.0
+
+    def bit_reorder_fraction(self, profile: AlgorithmProfile) -> float:
+        """Fraction of loaded weight bits that must be re-ordered for the datapath."""
+        return 0.0
+
+    # -- shared accounting ----------------------------------------------------
+
+    def _stage_cost(
+        self,
+        workload: Workload,
+        profile: AlgorithmProfile,
+        stage: str,
+        dense: Dict[str, float],
+    ) -> StageCost:
+        prefix = "prefill" if stage == "prefill" else "decode"
+        linear_macs = dense[f"{prefix}_linear_macs"]
+        attn_macs = dense[f"{prefix}_attention_macs"]
+        weight_bytes = dense[f"{prefix}_weight_bytes"]
+        kv_bytes = dense[f"{prefix}_kv_bytes"]
+        act_bytes = dense[f"{prefix}_act_bytes"]
+
+        physical_ops = (
+            linear_macs * self.linear_ops_factor(profile, stage)
+            + attn_macs * self.attention_ops_factor(profile, stage)
+        )
+        weight_traffic = weight_bytes * self.weight_traffic_factor(profile, stage)
+        kv_traffic = kv_bytes * self.kv_traffic_factor(profile, stage)
+        prediction = self.prediction_traffic_bytes(workload, profile, stage, kv_bytes)
+        reorder_bits = (
+            (weight_traffic + kv_traffic) * 8.0 * self.bit_reorder_fraction(profile)
+        )
+
+        compute_cycles = physical_ops / (self.peak_ops_per_cycle * self.utilization)
+        dram_bytes = weight_traffic + kv_traffic + act_bytes + prediction
+        memory_cycles = dram_bytes / self.hbm_bytes_per_cycle
+
+        dram_byte_pj = self.tech.dram_byte_pj * self.dram_energy_scale
+        compute_energy = physical_ops * self.op_energy_pj
+        sram_energy = dram_bytes * self.sram_reuse_factor * self.tech.sram_byte_pj
+        dram_energy = (dram_bytes - prediction) * dram_byte_pj
+        reorder_energy = reorder_bits * self.tech.bit_reorder_bit_pj
+        prediction_energy = prediction * dram_byte_pj
+
+        return StageCost(
+            stage=stage,
+            effective_macs=linear_macs + attn_macs,
+            physical_ops=physical_ops,
+            weight_bytes=weight_traffic,
+            kv_bytes=kv_traffic,
+            activation_bytes=act_bytes,
+            prediction_bytes=prediction,
+            bit_reorder_bits=reorder_bits,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            compute_energy_pj=compute_energy,
+            sram_energy_pj=sram_energy,
+            dram_energy_pj=dram_energy,
+            reorder_energy_pj=reorder_energy,
+            prediction_energy_pj=prediction_energy,
+        )
+
+    def evaluate(
+        self,
+        workload: Workload,
+        profile: AlgorithmProfile,
+        n_processors: int = 1,
+    ) -> AcceleratorReport:
+        """Evaluate one workload and return the full latency/energy report."""
+        dense = dense_stage_quantities(workload)
+        prefill = self._stage_cost(workload, profile, "prefill", dense)
+        decode = self._stage_cost(workload, profile, "decode", dense)
+        return AcceleratorReport(
+            accelerator=self.name,
+            workload=workload,
+            prefill=prefill,
+            decode=decode,
+            n_processors=n_processors,
+            frequency_hz=self.tech.frequency_hz,
+            idle_power_w=self.idle_power_w,
+        )
+
+
+# ---------------------------------------------------------------------------
+# MCBP accelerator
+# ---------------------------------------------------------------------------
+
+
+class MCBPAccelerator(AnalyticalAccelerator):
+    """The MCBP accelerator with its three optimisations individually toggleable.
+
+    ``use_brcr`` / ``use_bstc`` / ``use_bgpp`` allow the Fig. 19 ablation
+    (baseline = vanilla bit-serial compute + value-level compression +
+    value-level top-k prediction).  The datapath is bit-serial: a dense INT8
+    MAC costs ``weight_bits`` bit-level additions, and BRCR divides that by
+    its measured merge reduction.
+    """
+
+    name = "MCBP"
+    # Physical bit-level additions retired per cycle across the 20 PE clusters.
+    peak_ops_per_cycle = 16384.0
+    op_energy_pj = DEFAULT_TECH.int8_add_pj
+    utilization = 0.78  # paper §5.3: 78 % average utilisation
+    idle_power_w = 0.0
+    sram_reuse_factor = 2.0
+
+    def __init__(
+        self,
+        use_brcr: bool = True,
+        use_bstc: bool = True,
+        use_bgpp: bool = True,
+        hw_config: MCBPHardwareConfig = MCBP_HW_CONFIG,
+        tech: TechnologyConstants = DEFAULT_TECH,
+        aggressive: bool = False,
+    ) -> None:
+        super().__init__(tech=tech)
+        self.use_brcr = use_brcr
+        self.use_bstc = use_bstc
+        self.use_bgpp = use_bgpp
+        self.hw_config = hw_config
+        self.aggressive = aggressive
+        flags = []
+        if use_brcr:
+            flags.append("BRCR")
+        if use_bstc:
+            flags.append("BSTC")
+        if use_bgpp:
+            flags.append("BGPP")
+        if len(flags) < 3:
+            self.name = "MCBP[" + "+".join(flags) + "]" if flags else "MCBP[baseline]"
+        elif aggressive:
+            self.name = "MCBP-aggressive"
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _bgpp_keep(self, profile: AlgorithmProfile) -> float:
+        keep = profile.bgpp_keep_fraction
+        if self.aggressive:
+            keep = max(0.05, keep * 0.7)
+        return keep
+
+    def linear_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        bits = profile.weight_bits
+        if self.use_brcr:
+            return bits / max(profile.brcr_reduction, 1e-9)
+        # vanilla bit-serial baseline still skips zero bits within a vector
+        return bits * (1.0 - profile.bit_sparsity)
+
+    def attention_ops_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        bits = profile.weight_bits
+        keep = self._bgpp_keep(profile) if self.use_bgpp else profile.value_topk_keep_fraction
+        serial = bits / max(profile.brcr_reduction, 1e-9) if self.use_brcr else bits * (
+            1.0 - profile.bit_sparsity
+        )
+        # prediction compute: bit-grained progressive rounds (cheap) or 4-bit
+        # value-level estimate over all keys.
+        if self.use_bgpp:
+            prediction = 0.5 * profile.bgpp_kv_traffic_fraction
+        else:
+            prediction = 0.5
+        return keep * serial + prediction
+
+    def weight_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        # Dense reference traffic is expressed at INT8; lower-precision weights
+        # (the INT4 study of Fig. 26) proportionally shrink the raw stream.
+        precision = profile.weight_bits / 8.0
+        if self.use_bstc:
+            return precision / max(profile.bstc_compression_ratio, 1e-9)
+        # baseline: value-level compression (Huffman-like) bounded by value sparsity
+        return precision * (1.0 - 0.5 * profile.value_sparsity)
+
+    def kv_traffic_factor(self, profile: AlgorithmProfile, stage: str) -> float:
+        if stage == "prefill":
+            return 1.0  # prefill KV traffic is the cache write, always performed
+        keep = self._bgpp_keep(profile) if self.use_bgpp else profile.value_topk_keep_fraction
+        return keep
+
+    def prediction_traffic_bytes(
+        self, workload, profile: AlgorithmProfile, stage: str, dense_kv_bytes: float
+    ) -> float:
+        if stage == "prefill":
+            return 0.0
+        # Keys are half of the KV bytes; the predictor touches only keys.
+        key_bytes = dense_kv_bytes / 2.0
+        if self.use_bgpp:
+            return key_bytes * profile.bgpp_kv_traffic_fraction
+        return key_bytes * 0.5  # value-level predictor loads the 4-bit MSBs of all keys
+
+    def bit_reorder_fraction(self, profile: AlgorithmProfile) -> float:
+        # Bit-slice-first storage keeps re-ordering negligible (paper: ~3 %).
+        return 0.03 if self.use_bstc else 0.30

@@ -1,0 +1,101 @@
+"""Area and power breakdown models of the MCBP accelerator (paper Fig. 22, Table 3).
+
+The paper reports the prototype's total area (9.52 mm^2 at TSMC 28 nm) and
+power (2.395 W including HBM) together with per-component percentage
+breakdowns.  These models reproduce those breakdowns and expose per-component
+figures that the hardware-ablation study (Fig. 24b) composes incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .constants import MCBP_HW_CONFIG, MCBPHardwareConfig
+
+__all__ = [
+    "AreaBreakdown",
+    "PowerBreakdown",
+    "mcbp_area_breakdown",
+    "mcbp_power_breakdown",
+    "AREA_FRACTIONS",
+    "CORE_POWER_FRACTIONS",
+    "TOTAL_POWER_FRACTIONS",
+]
+
+# Fractions published in Fig. 22(a) -- total area 9.52 mm^2.
+AREA_FRACTIONS: Dict[str, float] = {
+    "brcr_unit": 0.382,
+    "sram": 0.191,
+    "apu": 0.184,
+    "scheduler": 0.134,
+    "bstc_unit": 0.062,
+    "bgpp_unit": 0.045,
+}
+
+# Fractions of the *core* power (Fig. 22(b), inner ring: core part is 37.3 %
+# of the 2.395 W total).
+CORE_POWER_FRACTIONS: Dict[str, float] = {
+    "brcr_unit": 0.447,
+    "sram": 0.220,
+    "apu": 0.117,
+    "bstc_unit": 0.102,
+    "bgpp_unit": 0.082,
+    "scheduler": 0.041,
+}
+
+# Top-level power split (Fig. 22(b) outer ring).
+TOTAL_POWER_FRACTIONS: Dict[str, float] = {
+    "dram": 0.476,
+    "core": 0.373,
+    "memory_interface": 0.151,
+}
+
+
+@dataclass
+class AreaBreakdown:
+    """Component areas in mm^2."""
+
+    components: Dict[str, float]
+    total_mm2: float
+
+    def fraction(self, name: str) -> float:
+        return self.components[name] / self.total_mm2
+
+
+@dataclass
+class PowerBreakdown:
+    """Component powers in watts."""
+
+    components: Dict[str, float]
+    total_w: float
+
+    def fraction(self, name: str) -> float:
+        return self.components[name] / self.total_w
+
+    @property
+    def core_w(self) -> float:
+        return sum(
+            v for k, v in self.components.items()
+            if k not in ("dram", "memory_interface")
+        )
+
+
+def mcbp_area_breakdown(config: MCBPHardwareConfig = MCBP_HW_CONFIG) -> AreaBreakdown:
+    """Per-component silicon area of the MCBP prototype."""
+    components = {
+        name: frac * config.area_mm2 for name, frac in AREA_FRACTIONS.items()
+    }
+    return AreaBreakdown(components=components, total_mm2=config.area_mm2)
+
+
+def mcbp_power_breakdown(config: MCBPHardwareConfig = MCBP_HW_CONFIG) -> PowerBreakdown:
+    """Per-component power of the MCBP prototype including DRAM and PHY."""
+    total = config.total_power_w
+    dram = TOTAL_POWER_FRACTIONS["dram"] * total
+    interface = TOTAL_POWER_FRACTIONS["memory_interface"] * total
+    core = TOTAL_POWER_FRACTIONS["core"] * total
+    components = {name: frac * core for name, frac in CORE_POWER_FRACTIONS.items()}
+    components["dram"] = dram
+    components["memory_interface"] = interface
+    return PowerBreakdown(components=components, total_w=total)

@@ -1,0 +1,94 @@
+"""Technology and energy constants for the accelerator cost models.
+
+Values follow the paper's evaluation setup (§5.1): TSMC 28 nm at 1 GHz,
+1248 kB of on-chip SRAM, HBM delivering 512 bits/cycle at 4 pJ/bit, and the
+published area/power of the MCBP prototype (9.52 mm^2, 2.395 W, Table 3 /
+Fig. 22).  Per-operation energies are standard 28 nm estimates (Horowitz-style
+numbers) used consistently across MCBP and every baseline so that relative
+comparisons are fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyConstants", "DEFAULT_TECH", "MCBP_HW_CONFIG", "MCBPHardwareConfig"]
+
+
+@dataclass(frozen=True)
+class TechnologyConstants:
+    """Per-event energy and bandwidth constants (28 nm, 1 GHz)."""
+
+    frequency_hz: float = 1.0e9
+    # compute energies (pJ)
+    int8_mac_pj: float = 0.23
+    int8_add_pj: float = 0.03
+    int4_mac_pj: float = 0.08
+    fp16_op_pj: float = 1.1
+    shift_pj: float = 0.01
+    cam_search_pj: float = 0.06
+    codec_bit_pj: float = 0.002
+    # memory energies
+    sram_byte_pj: float = 1.2
+    dram_bit_pj: float = 4.0  # paper: 4 pJ/bit for HBM
+    # bandwidths
+    hbm_bits_per_cycle: float = 512.0
+    # bit reordering (value-layout -> bit-slice layout) energy per reordered bit
+    bit_reorder_bit_pj: float = 0.01
+
+    @property
+    def hbm_bytes_per_cycle(self) -> float:
+        return self.hbm_bits_per_cycle / 8.0
+
+    @property
+    def hbm_bandwidth_bytes_per_s(self) -> float:
+        return self.hbm_bytes_per_cycle * self.frequency_hz
+
+    @property
+    def dram_byte_pj(self) -> float:
+        return self.dram_bit_pj * 8.0
+
+
+DEFAULT_TECH = TechnologyConstants()
+
+
+@dataclass(frozen=True)
+class MCBPHardwareConfig:
+    """MCBP prototype configuration (paper Table 3)."""
+
+    n_pe_clusters: int = 20
+    pes_per_cluster: int = 8
+    cam_bytes_per_pe: int = 512
+    add_merge_units_per_pe: int = 16
+    bstc_decoders: int = 80  # 20 x 4
+    bstc_encoders: int = 40  # 10 x 4
+    bgpp_adder_trees: int = 64
+    bgpp_filters: int = 4
+    token_sram_kb: int = 384
+    weight_sram_kb: int = 768
+    temp_sram_kb: int = 96
+    hbm_channels: int = 8
+    hbm_channel_bits: int = 128
+    hbm_capacity_gb: int = 8
+    group_size: int = 4
+    tile_m: int = 64
+    tile_k: int = 256
+    tile_n: int = 32
+    area_mm2: float = 9.52
+    total_power_w: float = 2.395
+
+    @property
+    def n_pes(self) -> int:
+        return self.n_pe_clusters * self.pes_per_cluster
+
+    @property
+    def total_sram_kb(self) -> int:
+        return self.token_sram_kb + self.weight_sram_kb + self.temp_sram_kb
+
+    @property
+    def adders_per_cycle(self) -> int:
+        """Peak merge additions the BRCR units can retire per cycle."""
+        return self.n_pes * self.add_merge_units_per_pe
+
+
+MCBP_HW_CONFIG = MCBPHardwareConfig()

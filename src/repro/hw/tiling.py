@@ -1,0 +1,111 @@
+"""GEMM tiling model of the MCBP accelerator (paper Fig. 12 and §4.1).
+
+MCBP uses an output-stationary dataflow with tiles ``TM x TK`` (weights) and
+``TK x TN`` (activations); the weight tile is held in the 768 kB weight SRAM
+and re-used against every activation tile, and the 8 PEs of a cluster process
+the bit slices of the weight tile in parallel.  This module computes tile
+counts, on-chip residency and the DRAM re-fetch factors that the cost model's
+``sram_reuse_factor`` abstracts, so the tiling choices can be examined and
+ablated directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict
+
+from .constants import MCBP_HW_CONFIG, MCBPHardwareConfig
+
+__all__ = ["TileConfig", "GemmTiling", "plan_gemm_tiling"]
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Tile sizes of the output-stationary dataflow (paper: 64 / 256 / 32)."""
+
+    tile_m: int = MCBP_HW_CONFIG.tile_m
+    tile_k: int = MCBP_HW_CONFIG.tile_k
+    tile_n: int = MCBP_HW_CONFIG.tile_n
+
+    def __post_init__(self) -> None:
+        if min(self.tile_m, self.tile_k, self.tile_n) < 1:
+            raise ValueError("tile sizes must be positive")
+
+
+@dataclass
+class GemmTiling:
+    """Tile counts and traffic factors for one ``M x K`` by ``K x N`` GEMM."""
+
+    m: int
+    k: int
+    n: int
+    config: TileConfig
+
+    @property
+    def tiles_m(self) -> int:
+        return ceil(self.m / self.config.tile_m)
+
+    @property
+    def tiles_k(self) -> int:
+        return ceil(self.k / self.config.tile_k)
+
+    @property
+    def tiles_n(self) -> int:
+        return ceil(self.n / self.config.tile_n)
+
+    @property
+    def total_tiles(self) -> int:
+        return self.tiles_m * self.tiles_k * self.tiles_n
+
+    def weight_tile_bytes(self, bits: int = 8) -> int:
+        """Size of one weight tile in bytes at the given precision."""
+        return self.config.tile_m * self.config.tile_k * bits // 8
+
+    def weight_tile_fits(self, hw: MCBPHardwareConfig = MCBP_HW_CONFIG, bits: int = 8) -> bool:
+        """Whether a double-buffered weight tile fits the weight SRAM."""
+        return 2 * self.weight_tile_bytes(bits) <= hw.weight_sram_kb * 1024
+
+    def weight_dram_fetches(self) -> int:
+        """How many times each weight element is fetched from DRAM.
+
+        With the output-stationary loop order (m, n, k) and the weight tile
+        resident while all ``N`` activation tiles stream past it, every weight
+        element is fetched exactly once per pass over ``N`` -- i.e. once, as
+        long as the tile fits on chip.
+        """
+        return 1 if self.weight_tile_fits() else self.tiles_n
+
+    def activation_dram_fetches(self) -> int:
+        """How many times each activation element is fetched from DRAM.
+
+        Activations are re-streamed once per weight-row tile because outputs
+        are stationary.
+        """
+        return self.tiles_m
+
+    def weight_reuse_factor(self) -> float:
+        """MAC operations performed per fetched weight element."""
+        return float(self.n)
+
+    def summary(self, bits: int = 8) -> Dict[str, float]:
+        return {
+            "tiles_m": self.tiles_m,
+            "tiles_k": self.tiles_k,
+            "tiles_n": self.tiles_n,
+            "total_tiles": self.total_tiles,
+            "weight_tile_kb": self.weight_tile_bytes(bits) / 1024.0,
+            "weight_tile_fits": float(self.weight_tile_fits(bits=bits)),
+            "weight_dram_fetches": self.weight_dram_fetches(),
+            "activation_dram_fetches": self.activation_dram_fetches(),
+            "weight_reuse_factor": self.weight_reuse_factor(),
+        }
+
+
+def plan_gemm_tiling(
+    m: int, k: int, n: int, config: TileConfig | None = None
+) -> GemmTiling:
+    """Build a :class:`GemmTiling` for an ``(M, K) x (K, N)`` integer GEMM."""
+    if min(m, k, n) < 1:
+        raise ValueError("GEMM dimensions must be positive")
+    return GemmTiling(m=m, k=k, n=n, config=config or TileConfig())

@@ -1,0 +1,199 @@
+"""Multi-head self-attention with KV cache and optional sparse prediction.
+
+Attention is where MCBP's BGPP operates: before the "formal compute" stage, a
+predictor selects the vital keys for each query and the full-precision
+``QK^T`` / softmax / ``PV`` computation only touches those keys (paper §2.2,
+Fig. 3).  The predictor is pluggable so that the same module can run dense
+attention, value-level top-k and bit-grained progressive prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .layers import Linear, softmax
+
+__all__ = ["KVCache", "AttentionOutput", "MultiHeadAttention", "causal_mask"]
+
+# A predictor maps (query_row, keys) -> selected key indices.
+KeyPredictor = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def causal_mask(n_queries: int, n_keys: int) -> np.ndarray:
+    """Boolean mask that is True where a query may attend (causal, right-aligned)."""
+    offset = n_keys - n_queries
+    q_idx = np.arange(n_queries)[:, None]
+    k_idx = np.arange(n_keys)[None, :]
+    return k_idx <= (q_idx + offset)
+
+
+@dataclass
+class KVCache:
+    """Per-layer key/value cache for autoregressive decoding."""
+
+    keys: Optional[np.ndarray] = None  # (seq, hidden)
+    values: Optional[np.ndarray] = None  # (seq, hidden)
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.float64))
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if self.keys is None:
+            self.keys = keys.copy()
+            self.values = values.copy()
+        else:
+            self.keys = np.vstack([self.keys, keys])
+            self.values = np.vstack([self.values, values])
+
+    @property
+    def seq_len(self) -> int:
+        return 0 if self.keys is None else int(self.keys.shape[0])
+
+    def clear(self) -> None:
+        self.keys = None
+        self.values = None
+
+
+@dataclass
+class AttentionOutput:
+    """Attention result plus sparsity statistics for the cost models."""
+
+    output: np.ndarray
+    keys_attended: int
+    keys_total: int
+    selected_fraction: float
+
+
+class MultiHeadAttention:
+    """Standard multi-head self-attention with an optional key predictor.
+
+    Parameters
+    ----------
+    hidden_size, n_heads:
+        Model dimensions; ``head_dim = hidden_size // n_heads``.
+    wq, wk, wv, wo:
+        Projection layers; random Gaussian projections are created when not
+        supplied (used by the synthetic models).
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        wq: Optional[Linear] = None,
+        wk: Optional[Linear] = None,
+        wv: Optional[Linear] = None,
+        wo: Optional[Linear] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if hidden_size % n_heads != 0:
+            raise ValueError("hidden_size must be divisible by n_heads")
+        self.hidden_size = hidden_size
+        self.n_heads = n_heads
+        self.head_dim = hidden_size // n_heads
+        base_seed = 0 if seed is None else seed
+        self.wq = wq or Linear.random(hidden_size, hidden_size, seed=base_seed + 1)
+        self.wk = wk or Linear.random(hidden_size, hidden_size, seed=base_seed + 2)
+        self.wv = wv or Linear.random(hidden_size, hidden_size, seed=base_seed + 3)
+        self.wo = wo or Linear.random(hidden_size, hidden_size, seed=base_seed + 4)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        seq = x.shape[0]
+        return x.reshape(seq, self.n_heads, self.head_dim).transpose(1, 0, 2)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        n_heads, seq, head_dim = x.shape
+        return x.transpose(1, 0, 2).reshape(seq, n_heads * head_dim)
+
+    def merged_context(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Dense causal attention on pre-projected Q/K/V, before the output projection.
+
+        Used by the quantisation calibration path, which needs the exact tensor
+        that feeds the ``wo`` projection.
+        """
+        qh = self._split_heads(np.atleast_2d(np.asarray(q, dtype=np.float64)))
+        kh = self._split_heads(np.atleast_2d(np.asarray(k, dtype=np.float64)))
+        vh = self._split_heads(np.atleast_2d(np.asarray(v, dtype=np.float64)))
+        mask = causal_mask(qh.shape[1], kh.shape[1])
+        scale = 1.0 / np.sqrt(self.head_dim)
+        logits = np.einsum("hqd,hkd->hqk", qh, kh) * scale
+        logits = np.where(mask[None, :, :], logits, -np.inf)
+        probs = softmax(logits, axis=-1)
+        context = np.einsum("hqk,hkd->hqd", probs, vh)
+        return self._merge_heads(context)
+
+    # -- forward -------------------------------------------------------------
+
+    def __call__(
+        self,
+        hidden_states: np.ndarray,
+        cache: Optional[KVCache] = None,
+        predictor: Optional[KeyPredictor] = None,
+    ) -> AttentionOutput:
+        """Compute attention for ``hidden_states`` of shape ``(seq, hidden)``.
+
+        When ``cache`` is given, the new keys/values are appended to it and
+        queries attend to the full cached sequence (decode mode for a single
+        new token, prefill mode for a full prompt).  ``predictor`` restricts
+        each query row to the key indices it returns; unselected keys receive
+        ``-inf`` logits before the softmax, mirroring top-k sparse attention.
+        """
+        hidden_states = np.atleast_2d(np.asarray(hidden_states, dtype=np.float64))
+        q = self.wq(hidden_states)
+        k_new = self.wk(hidden_states)
+        v_new = self.wv(hidden_states)
+
+        if cache is not None:
+            cache.append(k_new, v_new)
+            k_all = cache.keys
+            v_all = cache.values
+        else:
+            k_all = k_new
+            v_all = v_new
+
+        qh = self._split_heads(q)
+        kh = self._split_heads(k_all)
+        vh = self._split_heads(v_all)
+
+        n_queries = qh.shape[1]
+        n_keys = kh.shape[1]
+        mask = causal_mask(n_queries, n_keys)
+
+        selection_mask = np.ones((n_queries, n_keys), dtype=bool)
+        if predictor is not None:
+            selection_mask = np.zeros((n_queries, n_keys), dtype=bool)
+            # Predictors operate on the full (head-concatenated) Q/K rows, the
+            # same granularity the BGPP unit sees (it processes Q x K^T per row).
+            for i in range(n_queries):
+                allowed = np.flatnonzero(mask[i])
+                selected = np.asarray(
+                    predictor(q[i], k_all[allowed]), dtype=np.int64
+                )
+                selected = allowed[selected[selected < allowed.size]]
+                if selected.size == 0:
+                    selected = allowed[-1:]
+                selection_mask[i, selected] = True
+        full_mask = mask & selection_mask
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        logits = np.einsum("hqd,hkd->hqk", qh, kh) * scale
+        logits = np.where(full_mask[None, :, :], logits, -np.inf)
+        probs = softmax(logits, axis=-1)
+        context = np.einsum("hqk,hkd->hqd", probs, vh)
+        merged = self._merge_heads(context)
+        output = self.wo(merged)
+
+        keys_attended = int(full_mask.sum())
+        keys_total = int(mask.sum())
+        return AttentionOutput(
+            output=output,
+            keys_attended=keys_attended,
+            keys_total=keys_total,
+            selected_fraction=keys_attended / keys_total if keys_total else 1.0,
+        )

@@ -1,0 +1,161 @@
+"""Model configurations for the LLMs evaluated in the paper.
+
+The paper benchmarks Llama-7B/13B, Qwen-7B, Bloom-1B7 and OPT-1B3.  Only the
+architectural shapes matter for the accelerator study (hidden size, number of
+layers/heads, FFN width, vocabulary), so the configs below mirror the public
+model cards.  A ``tiny`` configuration is provided for fast functional tests
+and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ModelConfig", "MODEL_CONFIGS", "get_model_config", "scaled_down_config"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architectural description of a decoder-only transformer."""
+
+    name: str
+    hidden_size: int
+    n_layers: int
+    n_heads: int
+    ffn_hidden: int
+    vocab_size: int
+    max_seq_len: int = 8192
+    norm: str = "layernorm"
+    activation: str = "gelu"
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.n_heads
+
+    @property
+    def n_parameters(self) -> int:
+        """Approximate parameter count (attention + FFN + embeddings)."""
+        attn = 4 * self.hidden_size * self.hidden_size
+        ffn = 2 * self.hidden_size * self.ffn_hidden
+        per_layer = attn + ffn
+        embed = self.vocab_size * self.hidden_size
+        return self.n_layers * per_layer + embed
+
+    def weight_bytes(self, bits: int = 8) -> int:
+        """Model weight footprint at the given integer precision."""
+        return self.n_parameters * bits // 8
+
+    def kv_cache_bytes(self, seq_len: int, batch: int = 1, bits: int = 8) -> int:
+        """KV-cache footprint for ``seq_len`` cached tokens."""
+        per_token = 2 * self.n_layers * self.hidden_size * bits // 8
+        return per_token * seq_len * batch
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.n_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by n_heads {self.n_heads}"
+            )
+
+
+MODEL_CONFIGS: Dict[str, ModelConfig] = {
+    "tiny": ModelConfig(
+        name="tiny",
+        hidden_size=64,
+        n_layers=2,
+        n_heads=4,
+        ffn_hidden=256,
+        vocab_size=512,
+        max_seq_len=512,
+    ),
+    "small": ModelConfig(
+        name="small",
+        hidden_size=128,
+        n_layers=4,
+        n_heads=8,
+        ffn_hidden=512,
+        vocab_size=1024,
+        max_seq_len=2048,
+    ),
+    "OPT1B3": ModelConfig(
+        name="OPT1B3",
+        hidden_size=2048,
+        n_layers=24,
+        n_heads=32,
+        ffn_hidden=8192,
+        vocab_size=50272,
+        activation="relu",
+    ),
+    "Bloom1B7": ModelConfig(
+        name="Bloom1B7",
+        hidden_size=2048,
+        n_layers=24,
+        n_heads=16,
+        ffn_hidden=8192,
+        vocab_size=250880,
+    ),
+    "Qwen7B": ModelConfig(
+        name="Qwen7B",
+        hidden_size=4096,
+        n_layers=32,
+        n_heads=32,
+        ffn_hidden=11008,
+        vocab_size=151936,
+        norm="rmsnorm",
+        activation="silu",
+    ),
+    "Llama7B": ModelConfig(
+        name="Llama7B",
+        hidden_size=4096,
+        n_layers=32,
+        n_heads=32,
+        ffn_hidden=11008,
+        vocab_size=32000,
+        norm="rmsnorm",
+        activation="silu",
+    ),
+    "Llama13B": ModelConfig(
+        name="Llama13B",
+        hidden_size=5120,
+        n_layers=40,
+        n_heads=40,
+        ffn_hidden=13824,
+        vocab_size=32000,
+        norm="rmsnorm",
+        activation="silu",
+    ),
+}
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model configuration by name (case-sensitive, see MODEL_CONFIGS)."""
+    if name not in MODEL_CONFIGS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_CONFIGS)}"
+        )
+    return MODEL_CONFIGS[name]
+
+
+def scaled_down_config(name: str, scale: int = 32) -> ModelConfig:
+    """A functionally-executable miniature of a large config.
+
+    Divides the hidden/FFN/vocab sizes by ``scale`` (keeping head divisibility)
+    and caps the layer count, so that end-to-end functional runs of the
+    "Llama7B-like" architecture finish in seconds while preserving the layer
+    structure used by the cost models.
+    """
+    base = get_model_config(name)
+    n_heads = max(2, base.n_heads // max(1, scale // 4))
+    hidden = max(n_heads * 16, base.hidden_size // scale)
+    hidden -= hidden % n_heads
+    return ModelConfig(
+        name=f"{base.name}-mini",
+        hidden_size=hidden,
+        n_layers=min(base.n_layers, 4),
+        n_heads=n_heads,
+        ffn_hidden=max(4 * hidden, base.ffn_hidden // scale),
+        vocab_size=max(256, base.vocab_size // scale),
+        max_seq_len=base.max_seq_len,
+        norm=base.norm,
+        activation=base.activation,
+    )

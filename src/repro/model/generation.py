@@ -1,0 +1,137 @@
+"""Prefill + autoregressive decoding driver (paper §1 / §2.1).
+
+LLM inference splits into a *prefill* stage that processes the whole prompt in
+parallel and a *decoding* stage that generates tokens one at a time, each step
+touching the full weights and the growing KV cache.  This module runs both
+stages on the NumPy transformer and records the statistics the accelerator
+cost models need (tokens, attention density, per-stage GEMM volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .attention import KVCache
+from .config import ModelConfig
+from .transformer import ForwardStats, TransformerModel
+
+__all__ = ["GenerationResult", "greedy_sample", "generate", "stage_gemm_macs"]
+
+KeyPredictor = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class GenerationResult:
+    """Tokens produced by :func:`generate` plus per-stage statistics."""
+
+    prompt_tokens: List[int]
+    generated_tokens: List[int]
+    prefill_stats: ForwardStats
+    decode_stats: List[ForwardStats]
+    logits_history: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated_tokens)
+
+    @property
+    def decode_attention_density(self) -> float:
+        totals = sum(s.keys_total for s in self.decode_stats)
+        attended = sum(s.keys_attended for s in self.decode_stats)
+        return attended / totals if totals else 1.0
+
+
+def greedy_sample(logits: np.ndarray) -> int:
+    """Pick the argmax token from the last position's logits."""
+    logits = np.asarray(logits)
+    last = logits[-1] if logits.ndim == 2 else logits
+    return int(np.argmax(last))
+
+
+def generate(
+    model,
+    prompt_tokens: Sequence[int],
+    max_new_tokens: int = 16,
+    predictor: Optional[KeyPredictor] = None,
+    keep_logits: bool = False,
+    eos_token: Optional[int] = None,
+) -> GenerationResult:
+    """Greedy generation with an explicit prefill / decode split.
+
+    ``model`` may be a :class:`TransformerModel` or
+    :class:`~repro.model.transformer.QuantizedTransformer` -- anything exposing
+    ``forward(tokens, caches, predictor)`` and ``new_cache()``.
+    """
+    prompt_tokens = [int(t) for t in prompt_tokens]
+    if not prompt_tokens:
+        raise ValueError("prompt must contain at least one token")
+    caches: List[KVCache] = model.new_cache()
+
+    logits, prefill_stats = model.forward(
+        prompt_tokens, caches=caches, predictor=predictor
+    )
+    generated: List[int] = []
+    decode_stats: List[ForwardStats] = []
+    history: List[np.ndarray] = [logits] if keep_logits else []
+
+    next_token = greedy_sample(logits)
+    for step in range(max_new_tokens):
+        generated.append(next_token)
+        if eos_token is not None and next_token == eos_token:
+            break
+        if step == max_new_tokens - 1:
+            break  # no further token is needed, skip the trailing forward pass
+        step_logits, stats = model.forward(
+            [next_token], caches=caches, predictor=predictor
+        )
+        decode_stats.append(stats)
+        if keep_logits:
+            history.append(step_logits)
+        next_token = greedy_sample(step_logits)
+
+    return GenerationResult(
+        prompt_tokens=prompt_tokens,
+        generated_tokens=generated,
+        prefill_stats=prefill_stats,
+        decode_stats=decode_stats,
+        logits_history=history,
+    )
+
+
+def stage_gemm_macs(
+    config: ModelConfig,
+    prompt_len: int,
+    decode_len: int,
+    batch: int = 1,
+) -> dict:
+    """Analytic MAC counts of the prefill and decoding stages.
+
+    Returns a dict with per-stage linear-layer MACs and attention MACs,
+    which feed the GPU roofline model and the accelerator cost model
+    (Fig. 1a breakdown).
+    """
+    h = config.hidden_size
+    f = config.ffn_hidden
+    layers = config.n_layers
+    per_token_linear = layers * (4 * h * h + 2 * h * f)
+
+    prefill_linear = per_token_linear * prompt_len * batch
+    # attention scores + context for causal prefill: ~S^2/2 per layer per head dim
+    prefill_attention = layers * prompt_len * prompt_len * h * batch
+
+    decode_linear = per_token_linear * decode_len * batch
+    # each decode step attends to the full prefix
+    avg_context = prompt_len + decode_len / 2.0
+    decode_attention = layers * decode_len * avg_context * 2 * h * batch
+
+    return {
+        "prefill_linear_macs": float(prefill_linear),
+        "prefill_attention_macs": float(prefill_attention),
+        "decode_linear_macs": float(decode_linear),
+        "decode_attention_macs": float(decode_attention),
+        "weight_bytes": float(config.weight_bytes()),
+        "kv_bytes_end": float(config.kv_cache_bytes(prompt_len + decode_len, batch)),
+    }

@@ -1,0 +1,306 @@
+"""Decoder-only transformer substrate executed in NumPy.
+
+The model is deliberately small-scale and synthetic-weight friendly: the
+accelerator study needs exact layer shapes, a working KV cache and a faithful
+prefill/decode split, not trained weights.  A quantised execution mode routes
+every linear projection through :class:`repro.quant.QuantizedLinear` so that
+INT8 (or INT4) inference fidelity can be compared against the float model
+(Table 2) and so that MCBP's BRCR path can be exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .attention import AttentionOutput, KVCache, MultiHeadAttention
+from .config import ModelConfig
+from .layers import ACTIVATIONS, Embedding, Linear, layer_norm, rms_norm, softmax
+
+__all__ = ["DecoderLayer", "TransformerModel", "QuantizedTransformer", "ForwardStats"]
+
+KeyPredictor = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class ForwardStats:
+    """Aggregated statistics of one forward pass (per layer sums)."""
+
+    keys_attended: int = 0
+    keys_total: int = 0
+    tokens_processed: int = 0
+
+    @property
+    def attention_density(self) -> float:
+        return self.keys_attended / self.keys_total if self.keys_total else 1.0
+
+    @property
+    def attention_sparsity(self) -> float:
+        return 1.0 - self.attention_density
+
+    def merge(self, attn: AttentionOutput) -> None:
+        self.keys_attended += attn.keys_attended
+        self.keys_total += attn.keys_total
+
+
+class DecoderLayer:
+    """One pre-norm decoder block: attention + feed-forward network."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        self.config = config
+        h = config.hidden_size
+        self.attention = MultiHeadAttention(h, config.n_heads, seed=seed * 10)
+        self.ffn_up = Linear.random(h, config.ffn_hidden, seed=seed * 10 + 5)
+        self.ffn_down = Linear.random(config.ffn_hidden, h, seed=seed * 10 + 6)
+        self.activation = ACTIVATIONS[config.activation]
+        self.norm_fn = rms_norm if config.norm == "rmsnorm" else layer_norm
+
+    def linear_layers(self) -> Dict[str, Linear]:
+        """Named float linear layers of this block (for quantisation)."""
+        return {
+            "wq": self.attention.wq,
+            "wk": self.attention.wk,
+            "wv": self.attention.wv,
+            "wo": self.attention.wo,
+            "ffn_up": self.ffn_up,
+            "ffn_down": self.ffn_down,
+        }
+
+    def __call__(
+        self,
+        hidden: np.ndarray,
+        cache: Optional[KVCache] = None,
+        predictor: Optional[KeyPredictor] = None,
+    ) -> Tuple[np.ndarray, AttentionOutput]:
+        normed = self.norm_fn(hidden)
+        attn = self.attention(normed, cache=cache, predictor=predictor)
+        hidden = hidden + attn.output
+        normed = self.norm_fn(hidden)
+        ffn = self.ffn_down(self.activation(self.ffn_up(normed)))
+        hidden = hidden + ffn
+        return hidden, attn
+
+
+class TransformerModel:
+    """A float decoder-only transformer with synthetic Gaussian weights."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        self.config = config
+        self.embedding = Embedding.random(
+            config.vocab_size, config.hidden_size, seed=seed
+        )
+        self.layers = [
+            DecoderLayer(config, seed=seed + i + 1) for i in range(config.n_layers)
+        ]
+        self.lm_head = Linear.random(
+            config.hidden_size, config.vocab_size, seed=seed + 999
+        )
+        self.norm_fn = rms_norm if config.norm == "rmsnorm" else layer_norm
+
+    def new_cache(self) -> List[KVCache]:
+        return [KVCache() for _ in self.layers]
+
+    def forward(
+        self,
+        token_ids: Sequence[int],
+        caches: Optional[List[KVCache]] = None,
+        predictor: Optional[KeyPredictor] = None,
+    ) -> Tuple[np.ndarray, ForwardStats]:
+        """Run the model over ``token_ids`` and return logits ``(seq, vocab)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        hidden = self.embedding(token_ids)
+        stats = ForwardStats(tokens_processed=int(token_ids.size))
+        for i, layer in enumerate(self.layers):
+            cache = caches[i] if caches is not None else None
+            hidden, attn = layer(hidden, cache=cache, predictor=predictor)
+            stats.merge(attn)
+        hidden = self.norm_fn(hidden)
+        logits = self.lm_head(hidden)
+        return logits, stats
+
+    def hidden_states(self, token_ids: Sequence[int]) -> np.ndarray:
+        """Final-layer hidden states (used as a fidelity reference)."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        hidden = self.embedding(token_ids)
+        for layer in self.layers:
+            hidden, _ = layer(hidden)
+        return self.norm_fn(hidden)
+
+    def named_weight_matrices(self) -> Dict[str, np.ndarray]:
+        """All GEMM weight matrices keyed ``layer{i}.{name}`` (plus the LM head)."""
+        out: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, lin in layer.linear_layers().items():
+                out[f"layer{i}.{name}"] = lin.weight
+        out["lm_head"] = self.lm_head.weight
+        return out
+
+
+class QuantizedTransformer:
+    """Integer-quantised execution of a :class:`TransformerModel`.
+
+    Every linear projection is replaced by a calibrated
+    :class:`repro.quant.QuantizedLinear`; non-linear operators stay in float,
+    matching the paper's deployment (GEMMs INT8, softmax/norm FP16).
+    ``sparse_predictor`` plugs a top-k / BGPP key selector into attention.
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        weight_bits: int = 8,
+        activation_bits: int = 8,
+        calibration_tokens: Optional[Sequence[int]] = None,
+        clip_percentile: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        from ..quant.calibration import calibrate_linear
+
+        self.model = model
+        self.config = model.config
+        self.weight_bits = weight_bits
+        self.activation_bits = activation_bits
+        rng = np.random.default_rng(seed)
+        if calibration_tokens is None:
+            calibration_tokens = rng.integers(
+                0, model.config.vocab_size, size=min(64, model.config.max_seq_len)
+            )
+        # Calibrate each linear layer against the float model's activations at
+        # that point in the network.
+        calib_hidden = model.embedding(np.asarray(calibration_tokens, dtype=np.int64))
+        self.quant_layers: List[Dict[str, object]] = []
+        hidden = calib_hidden
+        for layer in model.layers:
+            normed = layer.norm_fn(hidden)
+            entry: Dict[str, object] = {}
+            for name in ("wq", "wk", "wv"):
+                lin = layer.linear_layers()[name]
+                entry[name] = calibrate_linear(
+                    lin.weight, normed, weight_bits=weight_bits,
+                    activation_bits=activation_bits, clip_percentile=clip_percentile,
+                )
+            attn = layer.attention
+            context = attn.merged_context(attn.wq(normed), attn.wk(normed), attn.wv(normed))
+            entry["wo"] = calibrate_linear(
+                attn.wo.weight, context, weight_bits=weight_bits,
+                activation_bits=activation_bits, clip_percentile=clip_percentile,
+            )
+            hidden = hidden + attn.wo(context)
+            normed2 = layer.norm_fn(hidden)
+            entry["ffn_up"] = calibrate_linear(
+                layer.ffn_up.weight, normed2, weight_bits=weight_bits,
+                activation_bits=activation_bits, clip_percentile=clip_percentile,
+            )
+            up = layer.activation(layer.ffn_up(normed2))
+            entry["ffn_down"] = calibrate_linear(
+                layer.ffn_down.weight, up, weight_bits=weight_bits,
+                activation_bits=activation_bits, clip_percentile=clip_percentile,
+            )
+            hidden = hidden + layer.ffn_down(up)
+            self.quant_layers.append(entry)
+        self.lm_head = calibrate_linear(
+            model.lm_head.weight, model.norm_fn(hidden), weight_bits=weight_bits,
+            activation_bits=activation_bits, clip_percentile=clip_percentile,
+        )
+
+    def quantized_weight_matrices(self) -> Dict[str, np.ndarray]:
+        """Integer weight matrices keyed like ``TransformerModel.named_weight_matrices``."""
+        out: Dict[str, np.ndarray] = {}
+        for i, entry in enumerate(self.quant_layers):
+            for name, qlin in entry.items():
+                out[f"layer{i}.{name}"] = qlin.weight_q  # type: ignore[union-attr]
+        out["lm_head"] = self.lm_head.weight_q
+        return out
+
+    def forward(
+        self,
+        token_ids: Sequence[int],
+        caches: Optional[List[KVCache]] = None,
+        predictor: Optional[KeyPredictor] = None,
+    ) -> Tuple[np.ndarray, ForwardStats]:
+        """Quantised forward pass returning float logits ``(seq, vocab)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        hidden = self.model.embedding(token_ids)
+        stats = ForwardStats(tokens_processed=int(token_ids.size))
+        for layer, qentry in zip(self.model.layers, self.quant_layers):
+            normed = layer.norm_fn(hidden)
+            attn_mod = layer.attention
+            q, _ = qentry["wq"].forward(normed)  # type: ignore[union-attr]
+            k, _ = qentry["wk"].forward(normed)  # type: ignore[union-attr]
+            v, _ = qentry["wv"].forward(normed)  # type: ignore[union-attr]
+
+            attn_out = self._attention(attn_mod, q, k, v, caches, layer, predictor)
+            proj, _ = qentry["wo"].forward(attn_out.output)  # type: ignore[union-attr]
+            hidden = hidden + proj
+            stats.merge(attn_out)
+
+            normed2 = layer.norm_fn(hidden)
+            up, _ = qentry["ffn_up"].forward(normed2)  # type: ignore[union-attr]
+            act = layer.activation(up)
+            down, _ = qentry["ffn_down"].forward(act)  # type: ignore[union-attr]
+            hidden = hidden + down
+        hidden = self.model.norm_fn(hidden)
+        logits, _ = self.lm_head.forward(hidden)
+        return logits, stats
+
+    def _attention(
+        self,
+        attn_mod: MultiHeadAttention,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        caches: Optional[List[KVCache]],
+        layer: DecoderLayer,
+        predictor: Optional[KeyPredictor],
+    ) -> AttentionOutput:
+        """Attention on pre-projected Q/K/V (projections already quantised)."""
+        from .attention import causal_mask
+
+        layer_index = self.model.layers.index(layer)
+        cache = caches[layer_index] if caches is not None else None
+        if cache is not None:
+            cache.append(k, v)
+            k_all, v_all = cache.keys, cache.values
+        else:
+            k_all, v_all = k, v
+
+        qh = attn_mod._split_heads(np.atleast_2d(q))
+        kh = attn_mod._split_heads(np.atleast_2d(k_all))
+        vh = attn_mod._split_heads(np.atleast_2d(v_all))
+        n_queries, n_keys = qh.shape[1], kh.shape[1]
+        mask = causal_mask(n_queries, n_keys)
+
+        selection_mask = np.ones((n_queries, n_keys), dtype=bool)
+        if predictor is not None:
+            selection_mask = np.zeros((n_queries, n_keys), dtype=bool)
+            for i in range(n_queries):
+                allowed = np.flatnonzero(mask[i])
+                selected = np.asarray(
+                    predictor(np.atleast_2d(q)[i], np.atleast_2d(k_all)[allowed]),
+                    dtype=np.int64,
+                )
+                selected = allowed[selected[selected < allowed.size]]
+                if selected.size == 0:
+                    selected = allowed[-1:]
+                selection_mask[i, selected] = True
+        full_mask = mask & selection_mask
+
+        scale = 1.0 / np.sqrt(attn_mod.head_dim)
+        logits = np.einsum("hqd,hkd->hqk", qh, kh) * scale
+        logits = np.where(full_mask[None, :, :], logits, -np.inf)
+        probs = softmax(logits, axis=-1)
+        context = np.einsum("hqk,hkd->hqd", probs, vh)
+        merged = attn_mod._merge_heads(context)
+        keys_attended = int(full_mask.sum())
+        keys_total = int(mask.sum())
+        return AttentionOutput(
+            output=merged,
+            keys_attended=keys_attended,
+            keys_total=keys_total,
+            selected_fraction=keys_attended / keys_total if keys_total else 1.0,
+        )
+
+    def new_cache(self) -> List[KVCache]:
+        return self.model.new_cache()

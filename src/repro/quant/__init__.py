@@ -1,0 +1,26 @@
+"""Integer quantisation substrate (per-channel weights, per-tensor activations)."""
+
+from .calibration import ActivationCalibrator, calibrate_linear
+from .gemm import QuantizedLinear, fold_scale_bias, quantized_matmul
+from .schemes import (
+    QuantParams,
+    dequantize,
+    quantize_activation_per_tensor,
+    quantize_weight_per_channel,
+    quantize_with_params,
+    symmetric_max_range,
+)
+
+__all__ = [
+    "QuantParams",
+    "quantize_weight_per_channel",
+    "quantize_activation_per_tensor",
+    "quantize_with_params",
+    "dequantize",
+    "symmetric_max_range",
+    "QuantizedLinear",
+    "quantized_matmul",
+    "fold_scale_bias",
+    "ActivationCalibrator",
+    "calibrate_linear",
+]

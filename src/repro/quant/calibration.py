@@ -1,0 +1,87 @@
+"""Activation calibration for post-training quantisation.
+
+The paper derives activation scales / zero-points from a calibration dataset
+(paper §4.1: "Δw, Δx, Δy, Zx and Zy can be pre-known by the calibration
+dataset").  :class:`ActivationCalibrator` accumulates running statistics over
+calibration batches and emits :class:`~repro.quant.schemes.QuantParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .schemes import QuantParams, quantize_activation_per_tensor
+
+__all__ = ["ActivationCalibrator", "calibrate_linear"]
+
+
+@dataclass
+class ActivationCalibrator:
+    """Running min/max (optionally percentile-smoothed) activation observer."""
+
+    bits: int = 8
+    percentile: Optional[float] = None
+    _min: float = field(default=float("inf"), init=False)
+    _max: float = field(default=float("-inf"), init=False)
+    _samples: int = field(default=0, init=False)
+
+    def observe(self, activations: np.ndarray) -> None:
+        """Update the observed range with one calibration batch."""
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.size == 0:
+            return
+        if self.percentile is None:
+            lo = float(activations.min())
+            hi = float(activations.max())
+        else:
+            lo = float(np.percentile(activations, 100.0 - self.percentile))
+            hi = float(np.percentile(activations, self.percentile))
+        self._min = min(self._min, lo)
+        self._max = max(self._max, hi)
+        self._samples += activations.size
+
+    @property
+    def observed_range(self) -> Tuple[float, float]:
+        if self._samples == 0:
+            return (0.0, 0.0)
+        return (self._min, self._max)
+
+    def quant_params(self) -> QuantParams:
+        """Emit per-tensor asymmetric parameters for the observed range."""
+        _, params = quantize_activation_per_tensor(
+            np.asarray(self.observed_range), bits=self.bits,
+            observed_range=self.observed_range,
+        )
+        return params
+
+
+def calibrate_linear(
+    weights: np.ndarray,
+    calibration_inputs: np.ndarray,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+    clip_percentile: Optional[float] = None,
+):
+    """Quantise a float linear layer against calibration activations.
+
+    Returns a :class:`repro.quant.gemm.QuantizedLinear` whose weight and
+    activation parameters were fitted from ``weights`` and
+    ``calibration_inputs`` respectively.
+    """
+    from .gemm import QuantizedLinear
+    from .schemes import quantize_weight_per_channel
+
+    weight_q, weight_params = quantize_weight_per_channel(
+        weights, bits=weight_bits, channel_axis=0, clip_percentile=clip_percentile
+    )
+    calibrator = ActivationCalibrator(bits=activation_bits)
+    calibrator.observe(calibration_inputs)
+    activation_params = calibrator.quant_params()
+    return QuantizedLinear(
+        weight_q=weight_q,
+        weight_params=weight_params,
+        activation_params=activation_params,
+    )

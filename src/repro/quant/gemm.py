@@ -1,0 +1,142 @@
+"""Quantised GEMM with scale / zero-point handling (paper Fig. 11).
+
+MCBP computes ``Y_q = Scale * (W_q @ X_q) + Bias`` where the integer product
+``W_q @ X_q`` is executed by the BRCR engine and ``Scale`` / ``Bias`` fold the
+weight, activation and output quantisation parameters.  This module provides
+both a reference float path and the integer path, optionally routed through
+BRCR so that callers can verify exact equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.brcr import BRCRConfig, BRCRCost, brcr_gemm
+from .schemes import QuantParams, dequantize
+
+__all__ = ["QuantizedLinear", "quantized_matmul", "fold_scale_bias"]
+
+
+def fold_scale_bias(
+    weight_params: QuantParams,
+    activation_params: QuantParams,
+    weight_q: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold quantisation parameters into an output scale and bias.
+
+    Following the derivation in Fig. 11(b) with a float output
+    (``Delta_y = 1``, ``Z_y = 0``):
+
+    ``Y_f = Delta_w * Delta_x * (W_q @ X_q) - Delta_w * Delta_x * (W_q @ 1) * Z_x``
+
+    so ``scale[c] = Delta_w[c] * Delta_x`` (per output channel) and
+    ``bias[c] = -scale[c] * Z_x * sum_j W_q[c, j]``.
+    """
+    w_scale = np.asarray(weight_params.scale, dtype=np.float64).reshape(-1)
+    x_scale = float(np.asarray(activation_params.scale))
+    x_zero = float(np.asarray(activation_params.zero_point))
+    row_sums = np.asarray(weight_q, dtype=np.float64).sum(axis=1)
+    scale = w_scale * x_scale
+    bias = -scale * x_zero * row_sums
+    return scale, bias
+
+
+def quantized_matmul(
+    weight_q: np.ndarray,
+    activation_q: np.ndarray,
+    weight_params: QuantParams,
+    activation_params: QuantParams,
+    use_brcr: bool = False,
+    brcr_config: Optional[BRCRConfig] = None,
+) -> Tuple[np.ndarray, Optional[BRCRCost]]:
+    """Compute the dequantised output of ``W_q @ X_q`` with folded scale/bias.
+
+    Parameters
+    ----------
+    weight_q, activation_q:
+        Integer operands; ``weight_q`` is ``(M, K)``, ``activation_q`` is
+        ``(K,)`` or ``(K, N)``.
+    use_brcr:
+        Route the integer product through :func:`repro.core.brcr.brcr_gemm`
+        (bit-exact, but slower in Python) and return its cost counters.
+
+    Returns
+    -------
+    (output, cost):
+        ``output`` is the float result approximating ``W_f @ X_f``; ``cost``
+        is the BRCR cost object when ``use_brcr`` is set, else ``None``.
+    """
+    weight_q = np.asarray(weight_q, dtype=np.int64)
+    activation_q = np.asarray(activation_q, dtype=np.int64)
+    cost: Optional[BRCRCost] = None
+    if use_brcr:
+        product, cost = brcr_gemm(weight_q, activation_q, config=brcr_config)
+    else:
+        product = weight_q @ activation_q
+
+    scale, bias = fold_scale_bias(weight_params, activation_params, weight_q)
+    if product.ndim == 1:
+        output = scale * product + bias
+    else:
+        output = scale[:, None] * product + bias[:, None]
+    return output, cost
+
+
+@dataclass
+class QuantizedLinear:
+    """A linear layer captured in quantised form.
+
+    Holds the integer weights, their quantisation parameters, and an optional
+    float bias added after dequantisation.  ``forward`` quantises the incoming
+    float activations with the layer's calibrated activation parameters and
+    returns float outputs, matching the dataflow in paper Fig. 11(a).
+    """
+
+    weight_q: np.ndarray
+    weight_params: QuantParams
+    activation_params: QuantParams
+    bias: Optional[np.ndarray] = None
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight_q.shape[0])
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight_q.shape[1])
+
+    def weight_float(self) -> np.ndarray:
+        """Dequantised weights (the effective weights of the INT model)."""
+        return dequantize(self.weight_q, self.weight_params)
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        from .schemes import quantize_with_params
+
+        return quantize_with_params(x, self.activation_params)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        use_brcr: bool = False,
+        brcr_config: Optional[BRCRConfig] = None,
+    ) -> Tuple[np.ndarray, Optional[BRCRCost]]:
+        """Apply the layer to float activations ``x`` of shape ``(..., in_features)``."""
+        x = np.asarray(x, dtype=np.float64)
+        lead_shape = x.shape[:-1]
+        flat = x.reshape(-1, self.in_features)
+        xq = self.quantize_input(flat).T  # (K, N)
+        out, cost = quantized_matmul(
+            self.weight_q,
+            xq,
+            self.weight_params,
+            self.activation_params,
+            use_brcr=use_brcr,
+            brcr_config=brcr_config,
+        )
+        out = out.T.reshape(*lead_shape, self.out_features)
+        if self.bias is not None:
+            out = out + self.bias
+        return out, cost

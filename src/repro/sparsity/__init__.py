@@ -1,0 +1,31 @@
+"""Sparsity/repetitiveness analysis and synthetic weight generation."""
+
+from .metrics import (
+    SparsityReport,
+    plane_sparsity_profile,
+    repeated_column_fraction,
+    repetition_ratio,
+    sparsity_comparison_table,
+    sparsity_report,
+)
+from .synthetic import (
+    WeightDistribution,
+    activation_matrix,
+    attention_logits,
+    gaussian_int_weights,
+    gaussian_weights,
+)
+
+__all__ = [
+    "SparsityReport",
+    "sparsity_report",
+    "plane_sparsity_profile",
+    "repeated_column_fraction",
+    "repetition_ratio",
+    "sparsity_comparison_table",
+    "WeightDistribution",
+    "gaussian_weights",
+    "gaussian_int_weights",
+    "activation_matrix",
+    "attention_logits",
+]

@@ -1,0 +1,141 @@
+"""Sparsity and repetitiveness metrics (paper §2.3, Fig. 5, Fig. 25).
+
+These helpers quantify the two bit-level opportunities MCBP exploits:
+
+* **BS sparsity** -- the fraction of zero bits in each bit-slice plane of a
+  sign-magnitude weight matrix, far higher than value-level sparsity for
+  near-Gaussian weights;
+* **BS repetitiveness** -- the fraction of repeated column vectors inside an
+  ``m``-row group matrix, which BRCR turns into merged additions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bitslice import BitSliceTensor, mean_bit_sparsity, value_sparsity
+from ..core.brcr import column_codes
+
+__all__ = [
+    "SparsityReport",
+    "sparsity_report",
+    "plane_sparsity_profile",
+    "repetition_ratio",
+    "repeated_column_fraction",
+    "sparsity_comparison_table",
+]
+
+
+@dataclass
+class SparsityReport:
+    """Value- and bit-level sparsity summary of one integer weight matrix."""
+
+    value_sparsity: float
+    bit_sparsity: float
+    plane_sparsity: List[float]
+    bits: int
+
+    @property
+    def bit_over_value_ratio(self) -> float:
+        if self.value_sparsity <= 0:
+            return float("inf") if self.bit_sparsity > 0 else 1.0
+        return self.bit_sparsity / self.value_sparsity
+
+
+def sparsity_report(weights_q: np.ndarray, bits: int = 8) -> SparsityReport:
+    """Compute the value sparsity and per-plane bit sparsity of integer weights."""
+    weights_q = np.asarray(weights_q)
+    tensor = BitSliceTensor.from_values(weights_q, bits=bits, fmt="sign_magnitude")
+    planes = tensor.plane_sparsity()
+    return SparsityReport(
+        value_sparsity=value_sparsity(weights_q),
+        bit_sparsity=float(np.mean(planes[:-1])) if len(planes) > 1 else 0.0,
+        plane_sparsity=planes,
+        bits=bits,
+    )
+
+
+def plane_sparsity_profile(weights_q: np.ndarray, bits: int = 8) -> Dict[str, float]:
+    """Per-bit-position sparsity keyed ``"1st BS"`` (LSB) .. ``"sign"`` (paper Fig. 8c)."""
+    report = sparsity_report(weights_q, bits=bits)
+
+    def _ordinal(i: int) -> str:
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(i if i < 20 else i % 10, "th")
+        return f"{i}{suffix} BS"
+
+    profile = {
+        _ordinal(i + 1): report.plane_sparsity[i] for i in range(bits - 1)
+    }
+    profile["sign"] = report.plane_sparsity[-1]
+    profile["mean"] = report.bit_sparsity
+    profile["value"] = report.value_sparsity
+    return profile
+
+
+def repeated_column_fraction(plane: np.ndarray, group_size: int = 4) -> float:
+    """Fraction of group-matrix columns that duplicate an earlier column.
+
+    Higher values mean BRCR can merge more additions.  Matches the paper's
+    observation that the fraction grows rapidly as the group size shrinks
+    (pigeonhole, Fig. 5a).
+    """
+    plane = np.asarray(plane)
+    rows, cols = plane.shape
+    if cols == 0:
+        return 0.0
+    repeated = 0
+    total = 0
+    for start in range(0, rows, group_size):
+        group = plane[start : start + group_size]
+        codes = column_codes(group)
+        unique = np.unique(codes).size
+        repeated += codes.size - unique
+        total += codes.size
+    return repeated / total if total else 0.0
+
+
+def repetition_ratio(weights_q: np.ndarray, group_size: int = 4, bits: int = 8) -> float:
+    """Average repeated-column fraction across all magnitude bit planes."""
+    tensor = BitSliceTensor.from_values(
+        np.asarray(weights_q), bits=bits, fmt="sign_magnitude"
+    )
+    fractions = [
+        repeated_column_fraction(plane, group_size=group_size)
+        for plane in tensor.magnitude_slices
+    ]
+    return float(np.mean(fractions)) if fractions else 0.0
+
+
+def sparsity_comparison_table(
+    weight_sets: Dict[str, np.ndarray], bits: int = 8
+) -> Dict[str, Dict[str, float]]:
+    """Value vs bit sparsity per named model (paper Fig. 5d / Fig. 25b).
+
+    ``weight_sets`` maps a model name to a representative integer weight
+    matrix; the result maps each name to value sparsity, mean bit sparsity and
+    their ratio.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for name, weights in weight_sets.items():
+        report = sparsity_report(weights, bits=bits)
+        table[name] = {
+            "value_sparsity": report.value_sparsity,
+            "bit_sparsity": report.bit_sparsity,
+            "ratio": report.bit_over_value_ratio,
+        }
+    if table:
+        table["Mean"] = {
+            "value_sparsity": float(
+                np.mean([v["value_sparsity"] for v in table.values()])
+            ),
+            "bit_sparsity": float(
+                np.mean([v["bit_sparsity"] for v in table.values()])
+            ),
+            "ratio": float(np.mean([
+                v["ratio"] for v in table.values() if np.isfinite(v["ratio"])
+            ])),
+        }
+    return table

@@ -1,0 +1,23 @@
+"""Benchmark workloads, task descriptors and measured algorithm profiles."""
+
+from .profile import QUANT_SCHEMES, AlgorithmProfile, profile_model
+from .tasks import (
+    BENCHMARK_TASKS,
+    EVALUATED_MODELS,
+    TaskSpec,
+    Workload,
+    all_workloads,
+    make_workload,
+)
+
+__all__ = [
+    "TaskSpec",
+    "Workload",
+    "BENCHMARK_TASKS",
+    "EVALUATED_MODELS",
+    "make_workload",
+    "all_workloads",
+    "AlgorithmProfile",
+    "profile_model",
+    "QUANT_SCHEMES",
+]

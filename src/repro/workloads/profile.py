@@ -1,0 +1,213 @@
+"""Measured algorithm profiles that feed the accelerator cost models.
+
+The analytical accelerator models need a handful of workload statistics: how
+sparse the weight bit planes are, how much BRCR merging actually saves, the
+BSTC compression ratio, and how aggressively the attention predictors prune
+keys.  Rather than hard-coding the paper's numbers, these statistics are
+*measured* on synthetic weights/activations that match each model's shapes and
+the near-Gaussian weight distribution (see
+:mod:`repro.sparsity.synthetic`).  Profiles are cached per (model, quant
+scheme) because they only depend on the model, not the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from ..core.bgpp import BGPPConfig, bgpp_select, exact_topk, selection_recall, value_topk_select
+from ..core.brcr import group_merge_reduction
+from ..core.bstc import BSTCCodec, BSTCConfig
+from ..model.config import get_model_config
+from ..sparsity.metrics import repetition_ratio, sparsity_report
+from ..sparsity.synthetic import WeightDistribution, gaussian_int_weights
+
+__all__ = ["AlgorithmProfile", "profile_model", "QUANT_SCHEMES"]
+
+# Quantisation schemes studied in paper Fig. 25.  ``clip`` narrows the weight
+# range the way a QAT flow would, ``bits`` selects INT8 vs INT4.
+QUANT_SCHEMES = {
+    "ptq_int8": {"bits": 8, "distribution": WeightDistribution()},
+    "qat_int8": {
+        "bits": 8,
+        "distribution": WeightDistribution(outlier_fraction=0.001, outlier_scale=6.0),
+    },
+    # INT4 PTQ flows (e.g. QLLM) decompose/clip outliers so the 4-bit range is
+    # not dominated by them; modelled as an outlier-free Gaussian, which gives
+    # the paper's observation of much higher value sparsity (~16 %) but lower
+    # bit sparsity (~66 %) than INT8.
+    "ptq_int4": {"bits": 4, "distribution": WeightDistribution(outlier_fraction=0.0)},
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmProfile:
+    """Workload-independent statistics of MCBP's three optimisations."""
+
+    model_name: str
+    weight_bits: int
+    # sparsity structure
+    value_sparsity: float
+    bit_sparsity: float
+    repetition: float
+    # BRCR: measured addition reduction vs dense bit-serial and vs full-size merge
+    brcr_reduction: float
+    fullsize_merge_reduction: float
+    # BSTC: measured lossless compression ratio of the weight planes
+    bstc_compression_ratio: float
+    # attention predictors
+    bgpp_keep_fraction: float
+    bgpp_kv_traffic_fraction: float  # prediction traffic relative to full KV bits
+    bgpp_recall: float
+    value_topk_keep_fraction: float
+    value_topk_traffic_fraction: float
+
+    def with_alpha_scaling(self, keep_fraction: float) -> "AlgorithmProfile":
+        """Return a copy with a different BGPP keep fraction (α_r sweeps)."""
+        return replace(self, bgpp_keep_fraction=float(np.clip(keep_fraction, 0.0, 1.0)))
+
+
+def _sample_weight_matrix(model_name: str, bits: int, distribution, seed: int) -> np.ndarray:
+    """A representative weight sample with the model's hidden dimension.
+
+    The full H x H projection matrices of 7B-class models are too large to
+    slice exhaustively in Python, so a 256-row sample along the full hidden
+    dimension is used; bit-plane statistics are row-independent so the sample
+    is unbiased.
+    """
+    config = get_model_config(model_name)
+    rows = min(256, config.hidden_size)
+    cols = min(config.hidden_size, 4096)
+    return gaussian_int_weights(
+        (rows, cols), bits=bits, distribution=distribution, seed=seed
+    )
+
+
+def synthetic_attention_tensors(
+    n_keys: int,
+    head_dim: int,
+    seed: int,
+    important_fraction: float = 0.15,
+    n_queries: int = 8,
+):
+    """Quantised Q/K tensors with a realistic skewed attention-score profile.
+
+    Real attention rows have a handful of clearly important keys and a long
+    tail of near-irrelevant ones (the basis of top-k prediction, paper §2.2).
+    Independent Gaussian Q/K would not show that structure, so each query is
+    synthesised as a decaying mixture of a random subset of keys plus noise;
+    the mixture members become the genuinely high-scoring keys.
+
+    Returns ``(queries_q, keys_q, score_scale)`` where ``score_scale`` maps
+    integer dot products to softmax-logit units (the product of the two
+    quantisation scales and ``1/sqrt(d)``).
+    """
+    rng = np.random.default_rng(seed)
+    keys_f = rng.normal(0.0, 1.0, size=(n_keys, head_dim))
+    n_important = max(4, int(round(important_fraction * n_keys)))
+
+    queries_f = np.zeros((n_queries, head_dim))
+    for i in range(n_queries):
+        chosen = rng.choice(n_keys, size=n_important, replace=False)
+        weights = 1.2 * np.power(0.96, np.arange(n_important))
+        queries_f[i] = weights @ keys_f[chosen] / np.sqrt(n_important)
+        queries_f[i] += rng.normal(0.0, 0.5, size=head_dim)
+
+    k_scale = np.abs(keys_f).max() / 127.0
+    q_scale = np.abs(queries_f).max() / 127.0
+    keys_q = np.clip(np.round(keys_f / k_scale), -127, 127).astype(np.int64)
+    queries_q = np.clip(np.round(queries_f / q_scale), -127, 127).astype(np.int64)
+    score_scale = float(q_scale * k_scale / np.sqrt(head_dim))
+    return queries_q, keys_q, score_scale
+
+
+def _profile_attention(
+    model_name: str,
+    seed: int,
+    n_keys: int = 512,
+    alpha: float = 0.55,
+    rounds: int = 3,
+    topk_fraction: float = 0.15,
+    value_topk_fraction: float = 0.35,
+) -> dict:
+    """Measure BGPP and value-level top-k behaviour on synthetic Q/K tensors.
+
+    The value-level baseline keeps a *fixed* conservative fraction of keys
+    (``value_topk_fraction``, the typical setting of prior top-k accelerators,
+    chosen so its recall of the truly important keys is comfortably high),
+    whereas BGPP's radius threshold adapts per row -- which is exactly the
+    advantage the paper claims: similar recall with fewer surviving keys and
+    fewer prediction bits fetched.
+    """
+    config = get_model_config(model_name)
+    d = min(config.head_dim, 128)
+    queries_q, keys_q, score_scale = synthetic_attention_tensors(
+        n_keys, d, seed=seed, important_fraction=topk_fraction
+    )
+
+    bgpp_cfg = BGPPConfig(
+        rounds=rounds, alpha=max(alpha, 0.3), radius=3.0, score_scale=score_scale
+    )
+    k_top = max(1, int(round(topk_fraction * n_keys)))
+    k_value = max(1, int(round(value_topk_fraction * n_keys)))
+
+    keep, traffic, recall, vt_keep, vt_traffic = [], [], [], [], []
+    full_bits = n_keys * d * 8
+    for q in queries_q:
+        result = bgpp_select(q, keys_q, bgpp_cfg)
+        reference = exact_topk(q, keys_q, k_top)
+        keep.append(result.selected.size / n_keys)
+        traffic.append(result.kv_bits_loaded / full_bits)
+        recall.append(selection_recall(result.selected, reference))
+        vt = value_topk_select(q, keys_q, k_value, prediction_bits=4)
+        vt_keep.append(vt.selected.size / n_keys)
+        vt_traffic.append(vt.kv_bits_loaded / full_bits)
+
+    return {
+        "bgpp_keep_fraction": float(np.mean(keep)),
+        "bgpp_kv_traffic_fraction": float(np.mean(traffic)),
+        "bgpp_recall": float(np.mean(recall)),
+        "value_topk_keep_fraction": float(np.mean(vt_keep)),
+        "value_topk_traffic_fraction": float(np.mean(vt_traffic)),
+    }
+
+
+@lru_cache(maxsize=None)
+def profile_model(
+    model_name: str,
+    quant_scheme: str = "ptq_int8",
+    group_size: int = 4,
+    seed: int = 0,
+    alpha: float = 0.55,
+) -> AlgorithmProfile:
+    """Measure an :class:`AlgorithmProfile` for one model / quantisation scheme."""
+    if quant_scheme not in QUANT_SCHEMES:
+        raise KeyError(
+            f"unknown quantisation scheme {quant_scheme!r}; "
+            f"available: {sorted(QUANT_SCHEMES)}"
+        )
+    scheme = QUANT_SCHEMES[quant_scheme]
+    bits = int(scheme["bits"])
+    weights = _sample_weight_matrix(model_name, bits, scheme["distribution"], seed)
+
+    sparsity = sparsity_report(weights, bits=bits)
+    repetition = repetition_ratio(weights, group_size=group_size, bits=bits)
+    full_red, group_red = group_merge_reduction(weights, group_size, bits=bits)
+    codec = BSTCCodec(BSTCConfig(group_size=group_size, bits=bits))
+    compression = codec.encode(weights).compression_ratio
+    attn = _profile_attention(model_name, seed=seed + 7, alpha=alpha)
+
+    return AlgorithmProfile(
+        model_name=model_name,
+        weight_bits=bits,
+        value_sparsity=sparsity.value_sparsity,
+        bit_sparsity=sparsity.bit_sparsity,
+        repetition=repetition,
+        brcr_reduction=group_red,
+        fullsize_merge_reduction=full_red,
+        bstc_compression_ratio=compression,
+        **attn,
+    )

@@ -1,0 +1,126 @@
+"""Benchmark task and workload descriptors (paper §5.1).
+
+The paper evaluates five LLMs across nine tasks whose prompt lengths span
+0.25k (GLUE classification) to 8k tokens (Dolly long-context processing).
+Each :class:`TaskSpec` captures the sequence-length regime of one task; a
+:class:`Workload` pairs a task with a model configuration and batch size and
+is the unit every accelerator cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..model.config import ModelConfig, get_model_config
+
+__all__ = [
+    "TaskSpec",
+    "Workload",
+    "BENCHMARK_TASKS",
+    "EVALUATED_MODELS",
+    "make_workload",
+    "all_workloads",
+]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Sequence-length regime of one benchmark task."""
+
+    name: str
+    prompt_len: int
+    decode_len: int
+    category: str
+    metric: str = "accuracy"
+
+    @property
+    def is_decode_heavy(self) -> bool:
+        return self.decode_len > self.prompt_len
+
+
+# Prompt lengths follow §5.1; decode lengths follow the per-figure settings
+# (classification uses 16 generated tokens as in Fig. 1a, Dolly summarisation
+# decodes ~48 tokens as in Fig. 19b, MBPP generates long code completions).
+BENCHMARK_TASKS: Dict[str, TaskSpec] = {
+    "Cola": TaskSpec("Cola", prompt_len=256, decode_len=16, category="glue"),
+    "MNLI": TaskSpec("MNLI", prompt_len=512, decode_len=16, category="glue"),
+    "SST2": TaskSpec("SST2", prompt_len=256, decode_len=16, category="glue"),
+    "Wikitext2": TaskSpec(
+        "Wikitext2", prompt_len=2048, decode_len=64, category="lm", metric="perplexity"
+    ),
+    "Wikilingua": TaskSpec(
+        "Wikilingua", prompt_len=2048, decode_len=64, category="summarization",
+        metric="rouge1",
+    ),
+    "Winogrande": TaskSpec("Winogrande", prompt_len=256, decode_len=16, category="reasoning"),
+    "MMLU": TaskSpec("MMLU", prompt_len=512, decode_len=16, category="reasoning"),
+    "MBPP": TaskSpec("MBPP", prompt_len=48, decode_len=1024, category="codegen"),
+    "Dolly": TaskSpec("Dolly", prompt_len=8192, decode_len=48, category="long_context"),
+}
+
+EVALUATED_MODELS: List[str] = ["OPT1B3", "Bloom1B7", "Qwen7B", "Llama7B", "Llama13B"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One (model, task, batch) evaluation point."""
+
+    model_name: str
+    task: TaskSpec
+    batch: int = 1
+    prompt_len_override: Optional[int] = None
+    decode_len_override: Optional[int] = None
+
+    @property
+    def model(self) -> ModelConfig:
+        return get_model_config(self.model_name)
+
+    @property
+    def prompt_len(self) -> int:
+        return self.prompt_len_override or self.task.prompt_len
+
+    @property
+    def decode_len(self) -> int:
+        return self.decode_len_override or self.task.decode_len
+
+    @property
+    def name(self) -> str:
+        return f"{self.model_name}/{self.task.name}"
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_len + self.decode_len
+
+
+def make_workload(
+    model_name: str,
+    task_name: str,
+    batch: int = 1,
+    prompt_len: Optional[int] = None,
+    decode_len: Optional[int] = None,
+) -> Workload:
+    """Build a :class:`Workload`, optionally overriding the task's sequence lengths."""
+    if task_name not in BENCHMARK_TASKS:
+        raise KeyError(
+            f"unknown task {task_name!r}; available: {sorted(BENCHMARK_TASKS)}"
+        )
+    get_model_config(model_name)  # validate early
+    return Workload(
+        model_name=model_name,
+        task=BENCHMARK_TASKS[task_name],
+        batch=batch,
+        prompt_len_override=prompt_len,
+        decode_len_override=decode_len,
+    )
+
+
+def all_workloads(
+    models: Optional[Iterable[str]] = None,
+    tasks: Optional[Iterable[str]] = None,
+    batch: int = 1,
+) -> List[Workload]:
+    """Cartesian product of the evaluated models and tasks (the paper's 26+ benchmarks)."""
+    models = list(models) if models is not None else EVALUATED_MODELS
+    tasks = list(tasks) if tasks is not None else list(BENCHMARK_TASKS)
+    return [make_workload(m, t, batch=batch) for m in models for t in tasks]

@@ -1,0 +1,199 @@
+"""Unit and property tests for BGPP progressive prediction (repro.core.bgpp)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bgpp import (
+    BGPPConfig,
+    attention_sparsity,
+    bgpp_select,
+    bgpp_select_batch,
+    exact_topk,
+    make_bgpp_predictor,
+    make_value_topk_predictor,
+    selection_recall,
+    value_topk_select,
+)
+from repro.workloads.profile import synthetic_attention_tensors
+
+
+@pytest.fixture(scope="module")
+def attention_data():
+    queries, keys, scale = synthetic_attention_tensors(256, 64, seed=42)
+    return queries, keys, scale
+
+
+class TestBGPPConfig:
+    def test_alpha_scalar(self):
+        config = BGPPConfig(alpha=0.5)
+        assert config.alpha_for_round(0) == 0.5
+        assert config.alpha_for_round(5) == 0.5
+
+    def test_alpha_schedule(self):
+        config = BGPPConfig(alpha=[0.9, 0.7, 0.5])
+        assert config.alpha_for_round(0) == 0.9
+        assert config.alpha_for_round(2) == 0.5
+        assert config.alpha_for_round(9) == 0.5  # clamps to last entry
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BGPPConfig(rounds=0)
+        with pytest.raises(ValueError):
+            BGPPConfig(radius=-1)
+        with pytest.raises(ValueError):
+            BGPPConfig(min_keys=0)
+
+
+class TestBGPPSelect:
+    def test_returns_sorted_unique_indices(self, attention_data):
+        queries, keys, scale = attention_data
+        result = bgpp_select(queries[0], keys, BGPPConfig(score_scale=scale))
+        assert np.array_equal(result.selected, np.unique(result.selected))
+        assert result.selected.size >= 1
+        assert result.selected.max() < keys.shape[0]
+
+    def test_alpha_one_keeps_more_than_aggressive(self, attention_data):
+        queries, keys, scale = attention_data
+        generous = bgpp_select(
+            queries[0], keys, BGPPConfig(alpha=1.0, radius=10.0, score_scale=scale)
+        )
+        aggressive = bgpp_select(
+            queries[0], keys, BGPPConfig(alpha=0.3, score_scale=scale)
+        )
+        assert generous.selected.size >= aggressive.selected.size
+
+    def test_kv_traffic_less_than_full_precision(self, attention_data):
+        queries, keys, scale = attention_data
+        result = bgpp_select(queries[0], keys, BGPPConfig(score_scale=scale))
+        full_bits = keys.size * 8
+        assert result.kv_bits_loaded < full_bits
+
+    def test_traffic_below_value_topk_for_aggressive_filter(self, attention_data):
+        queries, keys, scale = attention_data
+        result = bgpp_select(
+            queries[0], keys, BGPPConfig(rounds=3, alpha=0.5, score_scale=scale)
+        )
+        baseline = value_topk_select(queries[0], keys, k=64, prediction_bits=4)
+        assert result.kv_bits_loaded < baseline.kv_bits_loaded
+
+    def test_recall_of_important_keys(self, attention_data):
+        queries, keys, scale = attention_data
+        recalls = []
+        for q in queries:
+            result = bgpp_select(
+                q, keys, BGPPConfig(rounds=3, alpha=0.7, score_scale=scale)
+            )
+            reference = exact_topk(q, keys, 16)
+            recalls.append(selection_recall(result.selected, reference))
+        assert np.mean(recalls) > 0.7
+
+    def test_survivors_monotonically_non_increasing(self, attention_data):
+        queries, keys, scale = attention_data
+        result = bgpp_select(queries[1], keys, BGPPConfig(rounds=4, score_scale=scale))
+        survivors = result.survivors_per_round
+        assert all(a >= b for a, b in zip(survivors, survivors[1:]))
+
+    def test_min_keys_respected(self, attention_data):
+        queries, keys, scale = attention_data
+        result = bgpp_select(
+            queries[0],
+            keys,
+            BGPPConfig(alpha=0.0, radius=100.0, score_scale=scale, min_keys=5),
+        )
+        assert result.selected.size >= 5
+
+    def test_empty_keys(self):
+        result = bgpp_select(np.array([1, 2]), np.zeros((0, 2), dtype=np.int64))
+        assert result.selected.size == 0
+        assert result.kv_bits_loaded == 0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bgpp_select(np.array([1, 2, 3]), np.zeros((4, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            bgpp_select(np.zeros((2, 2), dtype=np.int64), np.zeros((4, 2), dtype=np.int64))
+
+    def test_batch_helper(self, attention_data):
+        queries, keys, scale = attention_data
+        results = bgpp_select_batch(queries[:3], keys, BGPPConfig(score_scale=scale))
+        assert len(results) == 3
+        sparsity = attention_sparsity(results, keys.shape[0])
+        assert 0.0 <= sparsity <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_selected_indices_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(-127, 128, size=(32, 16))
+        q = rng.integers(-127, 128, size=16)
+        result = bgpp_select(q, keys, BGPPConfig(score_scale=0.01))
+        assert result.selected.size >= 1
+        assert result.selected.min() >= 0
+        assert result.selected.max() < 32
+
+
+class TestValueTopK:
+    def test_selects_k_keys(self, attention_data):
+        queries, keys, _ = attention_data
+        result = value_topk_select(queries[0], keys, k=10)
+        assert result.selected.size == 10
+
+    def test_k_larger_than_keys_clamped(self):
+        keys = np.ones((4, 8), dtype=np.int64)
+        result = value_topk_select(np.ones(8, dtype=np.int64), keys, k=100)
+        assert result.selected.size == 4
+
+    def test_traffic_scales_with_prediction_bits(self, attention_data):
+        queries, keys, _ = attention_data
+        four = value_topk_select(queries[0], keys, k=10, prediction_bits=4)
+        eight = value_topk_select(queries[0], keys, k=10, prediction_bits=8)
+        assert eight.kv_bits_loaded == 2 * four.kv_bits_loaded
+
+    def test_full_precision_prediction_matches_exact(self, attention_data):
+        queries, keys, _ = attention_data
+        result = value_topk_select(queries[0], keys, k=16, prediction_bits=8)
+        reference = exact_topk(queries[0], keys, 16)
+        assert selection_recall(result.selected, reference) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            value_topk_select(np.ones(4, dtype=np.int64), np.ones((2, 4), dtype=np.int64), k=0)
+
+
+class TestOracles:
+    def test_exact_topk_finds_largest(self):
+        keys = np.array([[1, 0], [10, 0], [5, 0]])
+        q = np.array([1, 0])
+        assert exact_topk(q, keys, 2).tolist() == [1, 2]
+
+    def test_recall_bounds(self):
+        assert selection_recall(np.array([1, 2, 3]), np.array([1, 2])) == 1.0
+        assert selection_recall(np.array([1]), np.array([1, 2])) == 0.5
+        assert selection_recall(np.array([]), np.array([])) == 1.0
+
+
+class TestPredictorFactories:
+    def test_bgpp_predictor_on_float_inputs(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=(64, 16))
+        q = keys[:4].mean(axis=0)
+        predictor = make_bgpp_predictor(alpha=0.7)
+        selected = predictor(q, keys)
+        assert selected.size >= 1
+        assert selected.max() < 64
+
+    def test_value_predictor_keep_fraction(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=(40, 8))
+        predictor = make_value_topk_predictor(keep_fraction=0.25)
+        assert predictor(rng.normal(size=8), keys).size == 10
+
+    def test_value_predictor_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_value_topk_predictor(keep_fraction=0.0)
+
+    def test_predictors_handle_empty_keys(self):
+        predictor = make_bgpp_predictor()
+        assert predictor(np.ones(4), np.zeros((0, 4))).size == 0

@@ -1,0 +1,260 @@
+"""Unit and property tests for BRCR (repro.core.brcr)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brcr import (
+    BRCRConfig,
+    BRCRCost,
+    bit_serial_additions,
+    brcr_additions,
+    brcr_gemm,
+    brcr_gemv,
+    brcr_group_gemv,
+    brcr_plane_gemv,
+    column_codes,
+    dense_additions,
+    enumeration_matrix,
+    group_merge_reduction,
+    merge_activations,
+    reconstruct_outputs,
+    unique_column_fraction,
+    value_sparse_additions,
+)
+from repro.sparsity.synthetic import gaussian_int_weights
+
+
+class TestColumnCodes:
+    def test_paper_example_codes(self):
+        # Fig. 7(b): third and fourth columns share the code 010 (= 2)
+        group = np.array(
+            [
+                [0, 1, 0, 0, 1],
+                [0, 1, 1, 1, 0],
+                [0, 0, 0, 0, 1],
+            ]
+        )
+        codes = column_codes(group)
+        assert codes.tolist() == [0, 3, 2, 2, 5]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            column_codes(np.array([1, 0, 1]))
+
+    def test_row_zero_is_lsb(self):
+        group = np.array([[1], [0]])
+        assert column_codes(group).tolist() == [1]
+        group = np.array([[0], [1]])
+        assert column_codes(group).tolist() == [2]
+
+
+class TestEnumerationMatrix:
+    def test_shape(self):
+        enum = enumeration_matrix(4)
+        assert enum.shape == (4, 16)
+
+    def test_column_is_binary_expansion(self):
+        enum = enumeration_matrix(3)
+        # column 5 = 101 -> rows (LSB first) 1, 0, 1
+        assert enum[:, 5].tolist() == [1, 0, 1]
+
+    def test_each_row_has_half_ones(self):
+        enum = enumeration_matrix(4)
+        assert (enum.sum(axis=1) == 8).all()
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            enumeration_matrix(0)
+
+
+class TestMergeActivations:
+    def test_paper_example_merge(self):
+        # Fig. 4(c): LSB matrix columns 3rd==1st pattern etc.; here verify the
+        # MAV accumulates activations of equal-coded columns.
+        codes = np.array([0, 3, 2, 2, 5])
+        acts = np.array([10, 20, 30, 40, 50])
+        mav, cost = merge_activations(codes, acts, group_size=3)
+        assert mav[2] == 70  # x2 + x3 merged
+        assert mav[3] == 20
+        assert mav[5] == 50
+        assert mav[0] == 0  # zero column skipped
+        assert cost.columns_skipped == 1
+        assert cost.merge_additions == 1  # only the 2/2 collision costs an add
+
+    def test_gemm_shape(self):
+        codes = np.array([1, 1, 2])
+        acts = np.arange(6).reshape(3, 2)
+        mav, cost = merge_activations(codes, acts, group_size=2)
+        assert mav.shape == (4, 2)
+        assert mav[1].tolist() == [0 + 2, 1 + 3]
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(ValueError):
+            merge_activations(np.array([4]), np.array([1]), group_size=2)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            merge_activations(np.array([1, 2]), np.array([1]), group_size=2)
+
+
+class TestReconstruction:
+    def test_reconstruction_equals_enumeration_product(self):
+        rng = np.random.default_rng(0)
+        mav = rng.integers(-10, 10, size=16)
+        outputs, _ = reconstruct_outputs(mav, group_size=4)
+        assert np.array_equal(outputs, enumeration_matrix(4) @ mav)
+
+    def test_cost_bounded_by_paper_formula(self):
+        rng = np.random.default_rng(1)
+        mav = rng.integers(1, 10, size=16)
+        _, cost = reconstruct_outputs(mav, group_size=4)
+        assert cost.reconstruction_additions <= 4 * 2 ** 3
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            reconstruct_outputs(np.zeros(5), group_size=3)
+
+
+class TestGroupGEMV:
+    def test_exactness_small_group(self):
+        rng = np.random.default_rng(2)
+        group = rng.integers(0, 2, size=(4, 32))
+        acts = rng.integers(-50, 50, size=32)
+        out, _ = brcr_group_gemv(group, acts)
+        assert np.array_equal(out, group.astype(np.int64) @ acts)
+
+    def test_all_zero_group_costs_nothing(self):
+        group = np.zeros((4, 16), dtype=np.uint8)
+        acts = np.arange(16)
+        out, cost = brcr_group_gemv(group, acts)
+        assert not out.any()
+        assert cost.total_additions == 0
+
+
+class TestPlaneGEMV:
+    def test_non_multiple_rows(self):
+        rng = np.random.default_rng(3)
+        plane = rng.integers(0, 2, size=(10, 20))  # 10 rows, group size 4
+        acts = rng.integers(-5, 5, size=20)
+        out, _ = brcr_plane_gemv(plane, acts, group_size=4)
+        assert np.array_equal(out, plane.astype(np.int64) @ acts)
+
+    def test_rejects_1d_plane(self):
+        with pytest.raises(ValueError):
+            brcr_plane_gemv(np.array([1, 0]), np.array([1, 2]), group_size=2)
+
+
+class TestBRCRGemv:
+    def test_matches_dense_int_gemv(self):
+        weights = gaussian_int_weights((32, 128), seed=0)
+        x = np.random.default_rng(1).integers(-128, 128, size=128)
+        out, cost = brcr_gemv(weights, x)
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+        assert cost.total_additions > 0
+
+    def test_matches_dense_gemm(self):
+        weights = gaussian_int_weights((16, 64), seed=5)
+        x = np.random.default_rng(2).integers(-64, 64, size=(64, 3))
+        out, _ = brcr_gemm(weights, x)
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+
+    def test_twos_complement_format(self):
+        rng = np.random.default_rng(7)
+        weights = rng.integers(-128, 128, size=(8, 32))
+        x = rng.integers(-10, 10, size=32)
+        out, _ = brcr_gemv(weights, x, BRCRConfig(fmt="twos_complement"))
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+
+    @pytest.mark.parametrize("group_size", [1, 2, 3, 4, 6, 8])
+    def test_group_size_does_not_change_result(self, group_size):
+        weights = gaussian_int_weights((12, 48), seed=11)
+        x = np.random.default_rng(3).integers(-20, 20, size=48)
+        out, _ = brcr_gemv(weights, x, BRCRConfig(group_size=group_size))
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+
+    def test_int4_weights(self):
+        weights = gaussian_int_weights((16, 64), bits=4, seed=13)
+        x = np.random.default_rng(4).integers(-8, 8, size=64)
+        out, _ = brcr_gemv(weights, x, BRCRConfig(bits=4))
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+
+    def test_fewer_additions_than_dense_bit_serial(self):
+        weights = gaussian_int_weights((64, 512), seed=21)
+        x = np.random.default_rng(5).integers(-128, 128, size=512)
+        _, cost = brcr_gemv(weights, x)
+        dense_bit_serial = 8 * weights.size  # one add per weight bit
+        assert cost.total_additions < dense_bit_serial
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            BRCRConfig(group_size=0)
+        with pytest.raises(ValueError):
+            BRCRConfig(bits=1)
+
+    def test_rejects_1d_weights(self):
+        with pytest.raises(ValueError):
+            brcr_gemv(np.array([1, 2]), np.array([1, 2]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_exactness_property(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-127, 128, size=(rows, cols))
+        x = rng.integers(-128, 128, size=cols)
+        out, _ = brcr_gemv(weights, x)
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+
+
+class TestCostModel:
+    def test_cost_addition_operator(self):
+        a = BRCRCost(merge_additions=3, reconstruction_additions=2)
+        b = BRCRCost(merge_additions=1, columns_skipped=4)
+        c = a + b
+        assert c.merge_additions == 4
+        assert c.total_additions == 6
+        assert c.columns_skipped == 4
+
+    def test_paper_example_reduction_factors(self):
+        # H ~ 4k, bs ~ 0.70, m = 4 (paper §3.1): ~12.1x vs value-sparse and
+        # ~3.8x vs naive bit-serial computing.
+        hidden, bits, m, bs, vs = 4096, 8, 4, 0.70, 0.07
+        brcr = brcr_additions(hidden, bits, m, bs)
+        bsc = bit_serial_additions(hidden, bits, m, bs)
+        value = value_sparse_additions(hidden, bits, m, vs)
+        assert bsc / brcr == pytest.approx(3.8, rel=0.1)
+        assert value / brcr == pytest.approx(12.1, rel=0.1)
+
+    def test_dense_additions(self):
+        assert dense_additions(10, 4, bits=2) == 80
+
+    def test_brcr_additions_scales_with_groups(self):
+        single = brcr_additions(1024, 8, 4, 0.7)
+        many = brcr_additions(1024, 8, 4, 0.7, rows=16)
+        assert many == pytest.approx(4 * single)
+
+
+class TestRepetitionStatistics:
+    def test_unique_fraction_lower_for_small_groups(self):
+        weights = gaussian_int_weights((64, 1024), seed=2)
+        from repro.core.bitslice import to_bitslices
+
+        plane = to_bitslices(weights, bits=8)[2]
+        full = unique_column_fraction(plane, group_size=None)
+        grouped = unique_column_fraction(plane, group_size=4)
+        assert grouped < full
+
+    def test_group_merge_reduction_favours_group_wise(self):
+        weights = gaussian_int_weights((128, 1024), seed=4)
+        full, group = group_merge_reduction(weights, group_size=4)
+        assert group > full
+        assert full == pytest.approx(1.0, abs=0.15)
+        assert group > 3.0  # paper reports ~5x on average
+
+    def test_unique_fraction_empty_plane(self):
+        assert unique_column_fraction(np.zeros((4, 0), dtype=np.uint8), 4) == 0.0

@@ -1,0 +1,143 @@
+"""Tests for the CAM match unit and the integrated MCBP engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.brcr import column_codes
+from repro.core.cam import CAMMatchUnit
+from repro.core.engine import MCBPEngine
+from repro.core.bgpp import BGPPConfig
+from repro.sparsity.synthetic import gaussian_int_weights
+
+
+class TestCAMMatchUnit:
+    def test_match_table_consistent_with_codes(self):
+        rng = np.random.default_rng(0)
+        group = rng.integers(0, 2, size=(4, 48))
+        cam = CAMMatchUnit(group_size=4)
+        cam.load_group(group)
+        codes = column_codes(group)
+        table = cam.match_table()
+        for key, indices in table.items():
+            assert (codes[indices] == key).all()
+        # every non-zero column appears exactly once across the table
+        total = sum(len(v) for v in table.values())
+        assert total == int((codes != 0).sum())
+
+    def test_zero_key_clock_gated(self):
+        group = np.zeros((4, 8), dtype=np.uint8)
+        cam = CAMMatchUnit(group_size=4)
+        cam.load_group(group)
+        bitmap = cam.search(0)
+        assert not bitmap.any()
+        assert cam.stats.gated_searches == 1
+        assert cam.stats.searches == 0
+
+    def test_search_counts_cycles(self):
+        rng = np.random.default_rng(1)
+        group = rng.integers(0, 2, size=(4, 128))
+        cam = CAMMatchUnit(group_size=4, capacity=64)
+        cam.load_group(group)
+        list(cam.enumerate_matches())
+        assert cam.stats.searches == 15  # 2^4 - 1 non-zero keys
+        assert cam.stats.load_cycles == 2  # 128 columns / 64 capacity
+
+    def test_rejects_bad_shapes(self):
+        cam = CAMMatchUnit(group_size=4)
+        with pytest.raises(ValueError):
+            cam.load_group(np.zeros((3, 8), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            CAMMatchUnit(group_size=0)
+
+    def test_search_key_out_of_range(self):
+        cam = CAMMatchUnit(group_size=2)
+        cam.load_group(np.zeros((2, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            cam.search(4)
+
+    def test_reset_stats(self):
+        cam = CAMMatchUnit(group_size=2)
+        cam.load_group(np.ones((2, 4), dtype=np.uint8))
+        cam.search(3)
+        cam.reset_stats()
+        assert cam.stats.searches == 0
+        assert cam.stats.total_cycles == 0
+
+
+class TestMCBPEngine:
+    @pytest.fixture()
+    def engine(self):
+        return MCBPEngine(group_size=4, weight_bits=8)
+
+    def test_gemm_exact(self, engine):
+        weights = gaussian_int_weights((24, 96), seed=0)
+        x = np.random.default_rng(1).integers(-128, 128, size=96)
+        engine.register_weight("proj", weights)
+        out = engine.gemm("proj", x)
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+
+    def test_gemm_matrix_activations(self, engine):
+        weights = gaussian_int_weights((16, 64), seed=2)
+        x = np.random.default_rng(3).integers(-64, 64, size=(64, 4))
+        engine.register_weight("proj", weights)
+        out = engine.gemm("proj", x)
+        assert np.array_equal(out, weights.astype(np.int64) @ x)
+
+    def test_unregistered_layer_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.gemm("missing", np.zeros(4, dtype=np.int64))
+
+    def test_stats_accumulate(self, engine):
+        weights = gaussian_int_weights((32, 128), seed=4)
+        x = np.random.default_rng(5).integers(-128, 128, size=128)
+        engine.register_weight("proj", weights)
+        engine.gemm("proj", x)
+        stats = engine.stats
+        assert stats.gemm_calls == 1
+        assert stats.dense_macs == 32 * 128
+        assert stats.compute_reduction > 1.0
+        assert stats.weight_compression_ratio > 1.0
+
+    def test_select_keys_traffic_accounting(self, engine):
+        keys = gaussian_int_weights((64, 32), seed=6)
+        q = np.random.default_rng(7).integers(-128, 128, size=32)
+        result = engine.select_keys(q, keys)
+        assert result.kv_bits_loaded == engine.stats.kv_bits_loaded
+        assert engine.stats.kv_traffic_fraction <= 1.0
+        assert engine.stats.attention_keep_fraction <= 1.0
+
+    def test_sparse_attention_scores_match_exact_on_selected(self, engine):
+        keys = gaussian_int_weights((48, 16), seed=8)
+        q = np.random.default_rng(9).integers(-64, 64, size=16)
+        scores, result = engine.sparse_attention_scores(q, keys)
+        exact = keys.astype(np.int64) @ q
+        for idx in result.selected:
+            assert scores[idx] == exact[idx]
+        unselected = np.setdiff1d(np.arange(48), result.selected)
+        assert np.isinf(scores[unselected]).all()
+
+    def test_reset_stats(self, engine):
+        weights = gaussian_int_weights((8, 32), seed=10)
+        engine.register_weight("p", weights)
+        engine.gemm("p", np.ones(32, dtype=np.int64))
+        engine.reset_stats()
+        assert engine.stats.gemm_calls == 0
+
+    def test_layer_names(self, engine):
+        engine.register_weight("b", gaussian_int_weights((4, 16), seed=11))
+        engine.register_weight("a", gaussian_int_weights((4, 16), seed=12))
+        assert engine.layer_names() == ["a", "b"]
+
+    def test_engine_matches_accelerator_style_reduction(self):
+        """Functional engine reductions land in the same range the profile measures."""
+        from repro.workloads import profile_model
+
+        engine = MCBPEngine()
+        weights = gaussian_int_weights((64, 2048), seed=13)
+        x = np.random.default_rng(14).integers(-128, 128, size=2048)
+        engine.register_weight("w", weights)
+        engine.gemm("w", x)
+        profile = profile_model("Llama7B")
+        assert engine.stats.compute_reduction == pytest.approx(
+            profile.brcr_reduction, rel=0.5
+        )

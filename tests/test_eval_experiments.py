@@ -1,0 +1,236 @@
+"""Integration tests for the per-figure experiment drivers (repro.eval)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    accuracy_proxy_table,
+    alpha_sweep,
+    bit_shift_overhead,
+    bit_vs_value_sparsity,
+    cambricon_comparison,
+    compression_ratio_vs_group_size,
+    fidelity_metrics,
+    format_nested_table,
+    format_table,
+    format_value,
+    gain_breakdown,
+    group_size_dse,
+    hardware_ablation,
+    latency_breakdown_vs_prompt,
+    latency_components,
+    merge_strategy_comparison,
+    normalized_computation_prefill,
+    normalized_memory_access_decoding,
+    optimal_group_size,
+    plane_sparsity_by_model,
+    quantization_sparsity_study,
+    separate_technique_effects,
+    sota_spec_table,
+    sota_stage_comparison,
+    technique_latency_ablation,
+    throughput_and_efficiency_vs_gpu,
+)
+
+# Keep the model set small so the whole file runs quickly; full sweeps live in
+# the benchmark harness.
+SMALL_MODELS = ("Llama7B", "OPT1B3")
+
+
+class TestFig1Breakdown:
+    def test_short_prompt_weight_bound(self):
+        rows = latency_breakdown_vs_prompt(prompt_lens=(1024,))
+        row = rows[0]
+        assert row["weight_load"] > 35.0
+        assert abs(sum(v for k, v in row.items() if k != "prompt_len") - 100.0) < 1e-6
+
+    def test_long_prompt_gemm_and_kv_bound(self):
+        short, long = latency_breakdown_vs_prompt(prompt_lens=(1024, 65536))
+        assert long["gemm"] > short["gemm"]
+        assert long["kv_load"] > short["kv_load"]
+        assert long["weight_load"] < short["weight_load"]
+
+    def test_components_positive(self):
+        comps = latency_components("Llama7B", 2048)
+        assert all(v > 0 for v in comps.values())
+
+
+class TestFig5Experiments:
+    def test_merge_strategy_group_wins(self):
+        table = merge_strategy_comparison(models=SMALL_MODELS, rows=64)
+        assert table["Mean"]["group_wise"] > 2.0 * table["Mean"]["full_size"]
+
+    def test_bit_vs_value_sparsity_ratio(self):
+        table = bit_vs_value_sparsity(models=SMALL_MODELS, rows=64)
+        # paper: bit sparsity ~10x higher than value sparsity on average
+        assert table["Mean"]["ratio"] > 4.0
+
+
+class TestFig8And18DSE:
+    def test_compression_curves_peak_at_small_m(self):
+        curves = compression_ratio_vs_group_size(sparsity_ratios=(0.85,), group_sizes=range(1, 11))
+        values = curves[0.85]
+        best_m = int(np.argmax(values)) + 1
+        assert 2 <= best_m <= 5
+        assert values[0] <= 1.0  # m = 1 never helps
+
+    def test_higher_sparsity_higher_cr(self):
+        curves = compression_ratio_vs_group_size(sparsity_ratios=(0.65, 0.95), group_sizes=(4,))
+        assert curves[0.95][0] > curves[0.65][0]
+
+    def test_plane_sparsity_by_model_exceeds_threshold(self):
+        profiles = plane_sparsity_by_model(models=("Llama7B",), rows=64)
+        profile = profiles["Llama7B"]
+        assert profile["7th BS"] > 0.9
+
+    def test_group_size_dse_shape(self):
+        dse = group_size_dse(group_sizes=range(1, 9), rows=32)
+        reductions = [dse[m]["comp_reduction_min"] for m in range(1, 9)]
+        # rises then falls (paper Fig. 18)
+        peak = int(np.argmax(reductions)) + 1
+        assert 3 <= peak <= 6
+        assert reductions[-1] < max(reductions)
+
+    def test_optimal_group_size_is_four(self):
+        assert optimal_group_size() == 4
+
+
+class TestFig17Comparison:
+    def test_mcbp_lowest_computation(self):
+        table = normalized_computation_prefill(models=SMALL_MODELS)
+        assert table["MCBP"]["Mean"] < table["SOFA"]["Mean"]
+        assert table["MCBP"]["Mean"] < table["Bitwave"]["Mean"]
+        assert table["SOFA"]["Mean"] == pytest.approx(1.0)
+
+    def test_mcbp_lowest_memory_access(self):
+        table = normalized_memory_access_decoding(models=SMALL_MODELS)
+        assert table["MCBP"]["Mean"] < table["FuseKNA"]["Mean"]
+        assert table["MCBP"]["Mean"] < table["SpAtten"]["Mean"]
+        assert table["FuseKNA"]["Mean"] == pytest.approx(1.0)
+
+    def test_mcbp_memory_reduction_substantial(self):
+        table = normalized_memory_access_decoding(models=SMALL_MODELS)
+        # The paper reports ~75 % average traffic reduction; with the measured
+        # (more conservative) BSTC compression ratio this framework lands near
+        # 20-40 %, but MCBP must still be clearly below every baseline.
+        assert table["MCBP"]["Mean"] < 0.85
+
+
+class TestFig19Ablation:
+    def test_union_effect_monotone(self):
+        table = technique_latency_ablation(models=("Llama7B",))
+        row = table["Llama7B"]
+        assert row["Baseline"] == pytest.approx(1.0)
+        assert row["+BRCR"] < row["Baseline"]
+        assert row["+BSTC"] < row["+BRCR"]
+        assert row["+BGPP"] <= row["+BSTC"]
+
+    def test_separate_effects_match_task_character(self):
+        effects = separate_technique_effects(dolly_prompts=(1024,), mbpp_decodes=(1024,))
+        # prompt-heavy summarisation benefits most from BRCR ...
+        dolly = effects["Dolly-prompt1024"]
+        assert dolly["BRCR"] > dolly["BSTC"]
+        # ... while decode-heavy code generation benefits most from BSTC (weight traffic)
+        mbpp = effects["MBPP-decode1024"]
+        assert mbpp["BSTC"] > mbpp["BRCR"]
+        assert mbpp["BGPP"] > 1.0
+
+
+class TestFig20And21GPU:
+    def test_throughput_and_efficiency_gains(self):
+        table = throughput_and_efficiency_vs_gpu(models=("Llama7B",), batches=(8,))
+        row = table["Llama7B"]
+        assert row["speedup_standard"] > 3.0
+        assert row["speedup_aggressive"] >= row["speedup_standard"]
+        assert row["efficiency_gain_standard"] > 10.0
+
+    def test_gain_breakdown_hardware_exceeds_software(self):
+        table = gain_breakdown()
+        for step, row in table.items():
+            assert row["hardware_speedup"] > row["software_speedup"], step
+        assert table["+BGPP"]["hardware_speedup"] > table["+BRCR"]["hardware_speedup"] * 0.9
+
+    def test_bit_shift_overhead_small_but_nonzero(self):
+        table = bit_shift_overhead(task_names=("Dolly",))
+        row = table["Dolly"]
+        assert 0.0 < row["bit_shift_fraction"] < 0.3
+        assert row["latency_reduction"] > 1.5
+
+
+class TestFig22To26:
+    def test_hardware_ablation_monotone_throughput(self):
+        table = hardware_ablation()
+        assert table["BRCR"]["throughput"] > table["SystolicArray"]["throughput"]
+        assert table["+BSTC"]["throughput"] >= table["BRCR"]["throughput"]
+        assert table["+BGPP"]["throughput"] >= table["+BSTC"]["throughput"]
+        assert table["+BGPP"]["energy_efficiency"] > 1.0
+
+    def test_sota_stage_comparison_mcbp_wins(self):
+        table = sota_stage_comparison(tasks=("Dolly", "MBPP"), stage="decoding" if False else "decode")
+        mean = table["Mean"]
+        assert mean["MCBP"]["speedup"] >= max(
+            mean[name]["speedup"] for name in mean if name != "MCBP"
+        )
+        assert mean["MCBP"]["energy_total"] <= 1.0
+
+    def test_cambricon_comparison(self):
+        table = cambricon_comparison(models=("Llama7B",))
+        assert table["prefill"]["Llama7B"]["speedup"] > 1.0
+        assert table["decode"]["Llama7B"]["speedup"] > 1.0
+        assert table["decode"]["Llama7B"]["energy_ratio"] < 1.0
+
+    def test_sota_spec_table(self):
+        table = sota_spec_table()
+        assert table["MCBP"]["efficiency_gops_w"] == pytest.approx(22740.0)
+        assert table["SpAtten"]["measured_efficiency_ratio_vs_mcbp"] > 1.0
+
+    def test_quantization_sparsity_study(self):
+        study = quantization_sparsity_study(rows=64)
+        assert study["ptq_int8"]["bit_sparsity"] > study["ptq_int4"]["bit_sparsity"]
+        assert study["ptq_int4"]["value_sparsity"] > study["ptq_int8"]["value_sparsity"]
+        assert study["ptq_int8"]["norm_computation_brcr"] < 1.0
+        assert study["ptq_int8"]["norm_memory_bstc"] < 1.0
+
+
+class TestAccuracyProxies:
+    def test_fidelity_metrics_identity(self):
+        logits = np.random.default_rng(0).normal(size=(4, 16))
+        metrics = fidelity_metrics(logits, logits)
+        assert metrics["cosine"] == pytest.approx(1.0)
+        assert metrics["top1_agreement"] == 1.0
+
+    def test_fidelity_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            fidelity_metrics(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_accuracy_table_ordering(self):
+        table = accuracy_proxy_table(n_prompts=2, prompt_len=16)
+        assert table["FP16"]["cosine"] == pytest.approx(1.0)
+        assert table["INT8"]["cosine"] > 0.99
+        assert table["MCBP (S)"]["cosine"] >= table["MCBP (A)"]["cosine"] - 0.02
+        assert table["MCBP (A)"]["accuracy_proxy"] <= table["FP16"]["accuracy_proxy"]
+
+    def test_alpha_sweep_trends(self):
+        sweep = alpha_sweep(alphas=(0.8, 0.4), prompt_len=32, n_prompts=1)
+        assert sweep[0.4]["attention_sparsity"] > sweep[0.8]["attention_sparsity"]
+        assert sweep[0.4]["accuracy_proxy"] <= sweep[0.8]["accuracy_proxy"] + 5.0
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(1e-7) == "1.000e-07"
+        assert format_value("abc") == "abc"
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.1}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+    def test_format_nested_table(self):
+        text = format_nested_table({"x": {"v": 1.0}}, row_label="row")
+        assert "row" in text and "x" in text
+
+    def test_format_empty(self):
+        assert format_table([], title="empty") == "empty"

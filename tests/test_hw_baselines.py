@@ -1,0 +1,211 @@
+"""Tests for the hardware cost framework and baseline accelerator models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GPUAccelerator,
+    SOTA_ACCELERATORS,
+    SpAttenAccelerator,
+    SystolicArrayAccelerator,
+)
+from repro.hw import (
+    DEFAULT_TECH,
+    MCBP_HW_CONFIG,
+    AnalyticalAccelerator,
+    MCBPAccelerator,
+    dense_stage_quantities,
+    mcbp_area_breakdown,
+    mcbp_power_breakdown,
+)
+from repro.workloads import make_workload, profile_model
+
+
+@pytest.fixture(scope="module")
+def llama_profile():
+    return profile_model("Llama7B")
+
+
+@pytest.fixture(scope="module")
+def dolly_workload():
+    return make_workload("Llama7B", "Dolly", batch=8)
+
+
+@pytest.fixture(scope="module")
+def mbpp_workload():
+    return make_workload("Llama7B", "MBPP", batch=8)
+
+
+class TestConstantsAndBreakdowns:
+    def test_hbm_bandwidth(self):
+        assert DEFAULT_TECH.hbm_bytes_per_cycle == 64.0
+        assert DEFAULT_TECH.dram_byte_pj == 32.0
+
+    def test_hw_config_totals(self):
+        assert MCBP_HW_CONFIG.n_pes == 160
+        assert MCBP_HW_CONFIG.total_sram_kb == 1248
+
+    def test_area_breakdown_sums_to_total(self):
+        area = mcbp_area_breakdown()
+        assert sum(area.components.values()) == pytest.approx(area.total_mm2, rel=0.01)
+        assert area.total_mm2 == pytest.approx(9.52)
+        # BRCR unit is the largest component (38.2 %)
+        assert max(area.components, key=area.components.get) == "brcr_unit"
+
+    def test_power_breakdown_matches_paper_fractions(self):
+        power = mcbp_power_breakdown()
+        assert power.total_w == pytest.approx(2.395)
+        assert power.fraction("dram") == pytest.approx(0.476, abs=0.01)
+        assert power.core_w == pytest.approx(0.373 * 2.395, rel=0.02)
+        # BSTC codec stays lightweight (~10 % of core power)
+        assert power.components["bstc_unit"] / power.core_w < 0.15
+
+
+class TestDenseQuantities:
+    def test_decode_weight_traffic_scales_with_tokens(self, dolly_workload):
+        dense = dense_stage_quantities(dolly_workload)
+        model = dolly_workload.model
+        assert dense["decode_weight_bytes"] == pytest.approx(
+            model.weight_bytes() * dolly_workload.decode_len
+        )
+
+    def test_kv_traffic_grows_with_prompt(self):
+        short = dense_stage_quantities(make_workload("Llama7B", "Cola"))
+        long = dense_stage_quantities(make_workload("Llama7B", "Dolly"))
+        assert long["decode_kv_bytes"] > short["decode_kv_bytes"]
+
+    def test_batch_scales_compute_not_weights(self):
+        b1 = dense_stage_quantities(make_workload("Llama7B", "MBPP", batch=1))
+        b8 = dense_stage_quantities(make_workload("Llama7B", "MBPP", batch=8))
+        assert b8["decode_linear_macs"] == pytest.approx(8 * b1["decode_linear_macs"])
+        assert b8["decode_weight_bytes"] == pytest.approx(b1["decode_weight_bytes"])
+
+
+class TestMCBPAccelerator:
+    def test_report_structure(self, dolly_workload, llama_profile):
+        report = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        assert report.total_latency_s > 0
+        assert report.total_energy_j > 0
+        assert report.throughput_gops > 0
+        assert report.prefill.latency_cycles == max(
+            report.prefill.compute_cycles, report.prefill.memory_cycles
+        )
+
+    def test_each_technique_reduces_latency(self, dolly_workload, llama_profile):
+        base = MCBPAccelerator(use_brcr=False, use_bstc=False, use_bgpp=False)
+        brcr = MCBPAccelerator(use_brcr=True, use_bstc=False, use_bgpp=False)
+        bstc = MCBPAccelerator(use_brcr=True, use_bstc=True, use_bgpp=False)
+        full = MCBPAccelerator()
+        latencies = [
+            acc.evaluate(dolly_workload, llama_profile).total_latency_s
+            for acc in (base, brcr, bstc, full)
+        ]
+        assert latencies[1] <= latencies[0]
+        assert latencies[2] <= latencies[1]
+        assert latencies[3] <= latencies[2]
+        assert latencies[3] < 0.8 * latencies[0]
+
+    def test_aggressive_faster_than_standard(self, dolly_workload, llama_profile):
+        standard = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        aggressive = MCBPAccelerator(aggressive=True).evaluate(dolly_workload, llama_profile)
+        assert aggressive.total_latency_s <= standard.total_latency_s
+
+    def test_bstc_reduces_weight_traffic(self, mbpp_workload, llama_profile):
+        with_bstc = MCBPAccelerator().evaluate(mbpp_workload, llama_profile)
+        without = MCBPAccelerator(use_bstc=False).evaluate(mbpp_workload, llama_profile)
+        assert with_bstc.decode.weight_bytes < without.decode.weight_bytes
+
+    def test_bgpp_reduces_kv_traffic(self, dolly_workload, llama_profile):
+        with_bgpp = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        without = MCBPAccelerator(use_bgpp=False).evaluate(dolly_workload, llama_profile)
+        assert (
+            with_bgpp.decode.kv_bytes + with_bgpp.decode.prediction_bytes
+            < without.decode.kv_bytes + without.decode.prediction_bytes
+        )
+
+    def test_bit_reorder_small_with_bstc(self, dolly_workload, llama_profile):
+        report = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        reorder = report.prefill.reorder_energy_pj + report.decode.reorder_energy_pj
+        assert reorder < 0.1 * (report.prefill.total_energy_pj + report.decode.total_energy_pj)
+
+    def test_multi_processor_scaling(self, dolly_workload, llama_profile):
+        one = MCBPAccelerator().evaluate(dolly_workload, llama_profile, n_processors=1)
+        many = MCBPAccelerator().evaluate(dolly_workload, llama_profile, n_processors=148)
+        assert many.total_latency_s == pytest.approx(one.total_latency_s / 148)
+        # dynamic energy is the same; only latency changes
+        assert many.total_energy_j == pytest.approx(one.total_energy_j, rel=0.05)
+
+    def test_ablation_names(self):
+        assert MCBPAccelerator(use_bstc=False, use_bgpp=False).name == "MCBP[BRCR]"
+        assert (
+            MCBPAccelerator(use_brcr=False, use_bstc=False, use_bgpp=False).name
+            == "MCBP[baseline]"
+        )
+        assert MCBPAccelerator(aggressive=True).name == "MCBP-aggressive"
+
+
+class TestGPUModel:
+    def test_gpu_slower_than_148_mcbp(self, dolly_workload, llama_profile):
+        gpu = GPUAccelerator().evaluate(dolly_workload, llama_profile)
+        mcbp = MCBPAccelerator().evaluate(dolly_workload, llama_profile, n_processors=148)
+        speedup = gpu.total_latency_s / mcbp.total_latency_s
+        assert 3.0 < speedup < 40.0  # paper reports ~8.7x average, task dependent
+
+    def test_gpu_efficiency_much_lower(self, dolly_workload, llama_profile):
+        gpu = GPUAccelerator().evaluate(dolly_workload, llama_profile)
+        mcbp = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        ratio = mcbp.energy_efficiency_gops_per_w / gpu.energy_efficiency_gops_per_w
+        assert 10.0 < ratio < 100.0  # paper: ~31x
+
+    def test_software_opts_give_small_gains(self, dolly_workload, llama_profile):
+        dense = GPUAccelerator().evaluate(dolly_workload, llama_profile)
+        optimised = GPUAccelerator(software_opts=("brcr", "bstc", "bgpp")).evaluate(
+            dolly_workload, llama_profile
+        )
+        gain = dense.total_latency_s / optimised.total_latency_s
+        assert 1.0 < gain < 2.5  # far below the dedicated-hardware gain
+
+    def test_unknown_software_opt_rejected(self):
+        with pytest.raises(ValueError):
+            GPUAccelerator(software_opts=("turbo",))
+
+
+class TestBaselines:
+    def test_all_sota_models_run(self, dolly_workload, llama_profile):
+        for name, cls in SOTA_ACCELERATORS.items():
+            report = cls().evaluate(dolly_workload, llama_profile)
+            assert report.total_latency_s > 0, name
+            assert report.total_energy_j > 0, name
+
+    def test_mcbp_fastest_among_accelerators(self, dolly_workload, llama_profile):
+        mcbp = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        for name, cls in SOTA_ACCELERATORS.items():
+            report = cls().evaluate(dolly_workload, llama_profile)
+            assert report.total_latency_s >= mcbp.total_latency_s * 0.99, name
+
+    def test_mcbp_lowest_energy(self, dolly_workload, llama_profile):
+        mcbp = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        for name, cls in SOTA_ACCELERATORS.items():
+            report = cls().evaluate(dolly_workload, llama_profile)
+            assert report.total_energy_j >= mcbp.total_energy_j, name
+
+    def test_spatten_reduces_kv_but_not_weights(self, dolly_workload, llama_profile):
+        spatten = SpAttenAccelerator().evaluate(dolly_workload, llama_profile)
+        systolic = SystolicArrayAccelerator().evaluate(dolly_workload, llama_profile)
+        assert spatten.decode.kv_bytes < systolic.decode.kv_bytes
+        assert spatten.decode.weight_bytes == pytest.approx(systolic.decode.weight_bytes)
+
+    def test_bitwave_pays_bit_reorder_energy(self, dolly_workload, llama_profile):
+        from repro.baselines import BitwaveAccelerator
+
+        bitwave = BitwaveAccelerator().evaluate(dolly_workload, llama_profile)
+        mcbp = MCBPAccelerator().evaluate(dolly_workload, llama_profile)
+        bitwave_frac = bitwave.prefill.reorder_energy_pj / bitwave.prefill.total_energy_pj
+        mcbp_frac = mcbp.prefill.reorder_energy_pj / mcbp.prefill.total_energy_pj
+        assert bitwave_frac > mcbp_frac
+
+    def test_decode_memory_bound_for_all(self, mbpp_workload, llama_profile):
+        """The decode stage of a code-generation task is memory bound everywhere."""
+        for cls in (SystolicArrayAccelerator, SpAttenAccelerator):
+            report = cls().evaluate(mbpp_workload, llama_profile)
+            assert report.decode.memory_cycles > report.decode.compute_cycles

@@ -1,0 +1,164 @@
+"""Unit tests for the quantisation substrate (repro.quant)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    ActivationCalibrator,
+    QuantizedLinear,
+    calibrate_linear,
+    dequantize,
+    fold_scale_bias,
+    quantize_activation_per_tensor,
+    quantize_weight_per_channel,
+    quantize_with_params,
+    quantized_matmul,
+    symmetric_max_range,
+)
+from repro.sparsity.synthetic import gaussian_weights
+
+
+class TestWeightQuantisation:
+    def test_range_respected(self):
+        w = gaussian_weights((16, 64), seed=0)
+        q, params = quantize_weight_per_channel(w, bits=8)
+        assert q.max() <= 127 and q.min() >= -127
+        assert params.symmetric
+
+    def test_int4_range(self):
+        w = gaussian_weights((8, 32), seed=1)
+        q, _ = quantize_weight_per_channel(w, bits=4)
+        assert q.max() <= 7 and q.min() >= -7
+
+    def test_per_channel_scales_independent(self):
+        w = np.vstack([np.ones(8) * 0.1, np.ones(8) * 10.0])
+        q, params = quantize_weight_per_channel(w, bits=8)
+        # both rows should use the full range despite 100x magnitude difference
+        assert q[0].max() == 127
+        assert q[1].max() == 127
+        assert params.scale[1] > params.scale[0]
+
+    def test_roundtrip_error_bounded_by_scale(self):
+        w = gaussian_weights((8, 128), seed=2)
+        q, params = quantize_weight_per_channel(w, bits=8)
+        recon = dequantize(q, params)
+        max_err = np.abs(recon - w).max()
+        assert max_err <= params.scale.max() * 0.5 + 1e-12
+
+    def test_clip_percentile_narrows_scale(self):
+        w = gaussian_weights((8, 512), seed=3)
+        _, ptq = quantize_weight_per_channel(w, bits=8)
+        _, qat = quantize_weight_per_channel(w, bits=8, clip_percentile=99.0)
+        assert qat.scale.mean() <= ptq.scale.mean()
+
+    def test_symmetric_max_range(self):
+        assert symmetric_max_range(8) == 127
+        assert symmetric_max_range(4) == 7
+
+
+class TestActivationQuantisation:
+    def test_asymmetric_covers_range(self):
+        x = np.linspace(-1.0, 3.0, 100)
+        q, params = quantize_activation_per_tensor(x, bits=8)
+        recon = dequantize(q, params)
+        assert np.abs(recon - x).max() < (4.0 / 255) * 0.51 + 1e-9
+
+    def test_zero_point_nonzero_for_skewed_range(self):
+        x = np.linspace(0.0, 10.0, 50)
+        _, params = quantize_activation_per_tensor(x, bits=8)
+        assert params.zero_point != 0
+
+    def test_observed_range_override(self):
+        x = np.array([0.5])
+        _, params = quantize_activation_per_tensor(x, observed_range=(-2.0, 2.0))
+        assert params.scale == pytest.approx(4.0 / 255)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=2, max_size=64))
+    def test_quantise_dequantise_error_bounded(self, values):
+        x = np.array(values)
+        q, params = quantize_activation_per_tensor(x, bits=8)
+        recon = dequantize(q, params)
+        span = max(x.max(), 0) - min(x.min(), 0)
+        assert np.abs(recon - x).max() <= span / 255.0 + 1e-9
+
+
+class TestQuantizedMatmul:
+    def _make_layer(self, seed=0, out_features=8, in_features=32):
+        rng = np.random.default_rng(seed)
+        w = gaussian_weights((out_features, in_features), seed=seed)
+        x_calib = rng.normal(size=(16, in_features))
+        return w, x_calib, calibrate_linear(w, x_calib)
+
+    def test_fold_scale_bias_shapes(self):
+        w, x, layer = self._make_layer()
+        scale, bias = fold_scale_bias(layer.weight_params, layer.activation_params, layer.weight_q)
+        assert scale.shape == (8,)
+        assert bias.shape == (8,)
+
+    def test_quantized_matmul_close_to_float(self):
+        w, x_calib, layer = self._make_layer(seed=1)
+        x = np.random.default_rng(2).normal(size=32)
+        xq = layer.quantize_input(x)
+        out, _ = quantized_matmul(layer.weight_q, xq, layer.weight_params, layer.activation_params)
+        ref = w @ x
+        rel_err = np.abs(out - ref).max() / (np.abs(ref).max() + 1e-9)
+        assert rel_err < 0.05
+
+    def test_brcr_path_matches_plain_integer_path(self):
+        w, x_calib, layer = self._make_layer(seed=3)
+        x = np.random.default_rng(4).normal(size=32)
+        xq = layer.quantize_input(x)
+        plain, _ = quantized_matmul(
+            layer.weight_q, xq, layer.weight_params, layer.activation_params
+        )
+        brcr, cost = quantized_matmul(
+            layer.weight_q, xq, layer.weight_params, layer.activation_params, use_brcr=True
+        )
+        assert np.allclose(plain, brcr)
+        assert cost is not None and cost.total_additions > 0
+
+    def test_forward_preserves_leading_shape(self):
+        w, x_calib, layer = self._make_layer(seed=5)
+        x = np.random.default_rng(6).normal(size=(3, 5, 32))
+        out, _ = layer.forward(x)
+        assert out.shape == (3, 5, 8)
+
+    def test_forward_with_bias(self):
+        w, x_calib, layer = self._make_layer(seed=7)
+        layer.bias = np.ones(8)
+        x = np.zeros(32)
+        out, _ = layer.forward(x)
+        assert np.allclose(out, layer.bias, atol=0.2)
+
+    def test_weight_float_close_to_original(self):
+        w, _, layer = self._make_layer(seed=8)
+        assert np.abs(layer.weight_float() - w).max() < layer.weight_params.scale.max()
+
+
+class TestCalibrator:
+    def test_observes_running_range(self):
+        calib = ActivationCalibrator()
+        calib.observe(np.array([-1.0, 2.0]))
+        calib.observe(np.array([0.5, 3.0]))
+        assert calib.observed_range == (-1.0, 3.0)
+
+    def test_empty_calibrator_range(self):
+        assert ActivationCalibrator().observed_range == (0.0, 0.0)
+
+    def test_percentile_clipping(self):
+        rng = np.random.default_rng(0)
+        calib = ActivationCalibrator(percentile=99.0)
+        data = rng.normal(size=10000)
+        data[0] = 100.0  # outlier
+        calib.observe(data)
+        assert calib.observed_range[1] < 10.0
+
+    def test_quant_params_emitted(self):
+        calib = ActivationCalibrator()
+        calib.observe(np.linspace(-1, 1, 10))
+        params = calib.quant_params()
+        assert params.bits == 8
+        assert not params.symmetric

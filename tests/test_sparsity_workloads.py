@@ -1,0 +1,177 @@
+"""Tests for sparsity metrics, synthetic generators and workload profiles."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity import (
+    WeightDistribution,
+    activation_matrix,
+    attention_logits,
+    gaussian_int_weights,
+    gaussian_weights,
+    plane_sparsity_profile,
+    repeated_column_fraction,
+    repetition_ratio,
+    sparsity_comparison_table,
+    sparsity_report,
+)
+from repro.workloads import (
+    BENCHMARK_TASKS,
+    EVALUATED_MODELS,
+    all_workloads,
+    make_workload,
+    profile_model,
+)
+from repro.workloads.profile import QUANT_SCHEMES, synthetic_attention_tensors
+
+
+class TestSyntheticGenerators:
+    def test_gaussian_weights_shape_and_scale(self):
+        w = gaussian_weights((32, 64), seed=0)
+        assert w.shape == (32, 64)
+        assert abs(w.mean()) < 0.01
+
+    def test_outliers_increase_max(self):
+        no_outliers = gaussian_weights(
+            (64, 512), WeightDistribution(outlier_fraction=0.0), seed=1
+        )
+        outliers = gaussian_weights(
+            (64, 512), WeightDistribution(outlier_fraction=0.01), seed=1
+        )
+        assert np.abs(outliers).max() > np.abs(no_outliers).max()
+
+    def test_int_weights_within_range(self):
+        q = gaussian_int_weights((16, 128), bits=8, seed=2)
+        assert q.max() <= 127 and q.min() >= -127
+        q4 = gaussian_int_weights((16, 128), bits=4, seed=2)
+        assert q4.max() <= 7 and q4.min() >= -7
+
+    def test_reproducible_with_seed(self):
+        a = gaussian_int_weights((8, 8), seed=3)
+        b = gaussian_int_weights((8, 8), seed=3)
+        assert np.array_equal(a, b)
+
+    def test_activation_matrix_outlier_channels(self):
+        x = activation_matrix((64, 256), outlier_fraction=0.05, seed=4)
+        channel_max = np.abs(x).max(axis=0)
+        assert channel_max.max() > 5 * np.median(channel_max)
+
+    def test_attention_logits_skewed(self):
+        logits = attention_logits(16, 256, seed=5)
+        assert logits.shape == (16, 256)
+        assert logits.max() > logits.mean() + 3 * logits.std() * 0.5
+
+
+class TestSparsityMetrics:
+    def test_report_bit_sparsity_exceeds_value(self):
+        weights = gaussian_int_weights((128, 1024), seed=0)
+        report = sparsity_report(weights)
+        assert report.bit_sparsity > 0.5
+        assert report.value_sparsity < 0.2
+        assert report.bit_over_value_ratio > 3.0
+
+    def test_plane_profile_keys(self):
+        weights = gaussian_int_weights((32, 256), seed=1)
+        profile = plane_sparsity_profile(weights)
+        assert "1st BS" in profile and "7th BS" in profile and "sign" in profile
+        # high-order planes are sparser than low-order planes
+        assert profile["7th BS"] > profile["1st BS"]
+
+    def test_high_order_planes_above_bstc_threshold(self):
+        """Paper Fig. 8c: the 5th-7th magnitude planes exceed the 65 % threshold."""
+        weights = gaussian_int_weights((256, 2048), seed=2)
+        profile = plane_sparsity_profile(weights)
+        for plane in ("5th BS", "6th BS", "7th BS"):
+            assert profile[plane] > 0.65
+
+    def test_repeated_column_fraction_high_for_sparse_planes(self):
+        weights = gaussian_int_weights((64, 1024), seed=3)
+        from repro.core.bitslice import to_bitslices
+
+        top_plane = to_bitslices(weights, bits=8)[6]
+        assert repeated_column_fraction(top_plane, group_size=4) > 0.8
+
+    def test_repetition_ratio_bounds(self):
+        weights = gaussian_int_weights((32, 512), seed=4)
+        ratio = repetition_ratio(weights)
+        assert 0.0 < ratio < 1.0
+
+    def test_comparison_table_has_mean(self):
+        table = sparsity_comparison_table(
+            {"a": gaussian_int_weights((16, 128), seed=5)}
+        )
+        assert "Mean" in table
+        assert table["a"]["ratio"] > 1.0
+
+
+class TestWorkloads:
+    def test_all_nine_tasks_defined(self):
+        assert len(BENCHMARK_TASKS) == 9
+        assert BENCHMARK_TASKS["Dolly"].prompt_len == 8192
+        assert BENCHMARK_TASKS["MBPP"].is_decode_heavy
+
+    def test_make_workload_overrides(self):
+        wl = make_workload("Llama7B", "Dolly", prompt_len=1024, decode_len=48)
+        assert wl.prompt_len == 1024
+        assert wl.decode_len == 48
+        assert wl.total_tokens == 1072
+
+    def test_unknown_task_or_model_raise(self):
+        with pytest.raises(KeyError):
+            make_workload("Llama7B", "NotATask")
+        with pytest.raises(KeyError):
+            make_workload("NotAModel", "Dolly")
+
+    def test_all_workloads_cartesian(self):
+        workloads = all_workloads(models=["Llama7B", "OPT1B3"], tasks=["Cola", "MBPP"])
+        assert len(workloads) == 4
+        # the paper's full evaluation grid covers at least 26 benchmarks
+        assert len(all_workloads()) >= 26
+
+
+class TestAlgorithmProfile:
+    @pytest.fixture(scope="class")
+    def llama_profile(self):
+        return profile_model("Llama7B")
+
+    def test_profile_cached(self, llama_profile):
+        assert profile_model("Llama7B") is llama_profile
+
+    def test_profile_value_ranges(self, llama_profile):
+        p = llama_profile
+        assert 0.5 < p.bit_sparsity < 0.95
+        assert 0.0 < p.value_sparsity < 0.3
+        assert p.brcr_reduction > 2.0
+        assert p.brcr_reduction > p.fullsize_merge_reduction
+        assert p.bstc_compression_ratio > 1.0
+        assert 0.0 < p.bgpp_keep_fraction < 1.0
+        assert p.bgpp_recall > 0.6
+
+    def test_bgpp_beats_value_topk_on_traffic_and_keys(self, llama_profile):
+        p = llama_profile
+        assert p.bgpp_kv_traffic_fraction < p.value_topk_traffic_fraction
+        assert p.bgpp_keep_fraction <= p.value_topk_keep_fraction + 0.05
+
+    def test_int4_profile_lower_bit_sparsity(self):
+        int8 = profile_model("Llama13B", quant_scheme="ptq_int8")
+        int4 = profile_model("Llama13B", quant_scheme="ptq_int4")
+        assert int4.bit_sparsity < int8.bit_sparsity
+        assert int4.value_sparsity > int8.value_sparsity
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            profile_model("Llama7B", quant_scheme="fp8")
+
+    def test_alpha_scaling_helper(self, llama_profile):
+        scaled = llama_profile.with_alpha_scaling(0.1)
+        assert scaled.bgpp_keep_fraction == pytest.approx(0.1)
+        assert scaled is not llama_profile
+
+    def test_synthetic_attention_tensors_properties(self):
+        q, k, scale = synthetic_attention_tensors(128, 64, seed=0)
+        assert q.shape == (8, 64) and k.shape == (128, 64)
+        assert np.abs(q).max() <= 127 and np.abs(k).max() <= 127
+        assert scale > 0
+
+    def test_quant_schemes_registry(self):
+        assert set(QUANT_SCHEMES) == {"ptq_int8", "qat_int8", "ptq_int4"}

@@ -1,0 +1,62 @@
+"""Tests for the GEMM tiling model (repro.hw.tiling)."""
+
+import pytest
+
+from repro.hw.constants import MCBP_HW_CONFIG
+from repro.hw.tiling import GemmTiling, TileConfig, plan_gemm_tiling
+
+
+class TestTileConfig:
+    def test_defaults_match_paper(self):
+        cfg = TileConfig()
+        assert (cfg.tile_m, cfg.tile_k, cfg.tile_n) == (64, 256, 32)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TileConfig(tile_m=0)
+
+
+class TestGemmTiling:
+    def test_tile_counts_round_up(self):
+        tiling = plan_gemm_tiling(100, 300, 33)
+        assert tiling.tiles_m == 2
+        assert tiling.tiles_k == 2
+        assert tiling.tiles_n == 2
+        assert tiling.total_tiles == 8
+
+    def test_llama_projection_tiles(self):
+        # a 4096x4096 projection against a 2048-token prompt
+        tiling = plan_gemm_tiling(4096, 4096, 2048)
+        assert tiling.tiles_m == 64
+        assert tiling.tiles_k == 16
+        assert tiling.tiles_n == 64
+
+    def test_weight_tile_fits_weight_sram(self):
+        tiling = plan_gemm_tiling(4096, 4096, 2048)
+        # 64 x 256 INT8 tile = 16 kB, double-buffered well within 768 kB
+        assert tiling.weight_tile_bytes() == 64 * 256
+        assert tiling.weight_tile_fits(MCBP_HW_CONFIG)
+
+    def test_weight_fetched_once_when_resident(self):
+        tiling = plan_gemm_tiling(4096, 4096, 2048)
+        assert tiling.weight_dram_fetches() == 1
+        assert tiling.activation_dram_fetches() == tiling.tiles_m
+
+    def test_weight_reuse_grows_with_batch_tokens(self):
+        short = plan_gemm_tiling(4096, 4096, 1)
+        long = plan_gemm_tiling(4096, 4096, 2048)
+        assert long.weight_reuse_factor() > short.weight_reuse_factor()
+
+    def test_oversized_tile_refetches(self):
+        huge = TileConfig(tile_m=4096, tile_k=4096, tile_n=32)
+        tiling = GemmTiling(m=4096, k=4096, n=2048, config=huge)
+        assert not tiling.weight_tile_fits()
+        assert tiling.weight_dram_fetches() == tiling.tiles_n
+
+    def test_summary_keys(self):
+        summary = plan_gemm_tiling(128, 512, 64).summary()
+        assert {"tiles_m", "weight_tile_kb", "weight_reuse_factor"} <= set(summary)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            plan_gemm_tiling(0, 1, 1)
