@@ -17,7 +17,7 @@ quantisation (:mod:`repro.quant`), an analytical accelerator/GPU cost framework
 (:mod:`repro.workloads`) and per-figure experiment drivers (:mod:`repro.eval`).
 """
 
-from . import baselines, core, eval, hw, model, quant, sparsity, workloads
+from . import baselines, core, eval, hw, model, quant, sparsity, serve, workloads
 from .core import (
     BGPPConfig,
     BRCRConfig,
@@ -39,6 +39,7 @@ __all__ = [
     "sparsity",
     "hw",
     "baselines",
+    "serve",
     "workloads",
     "eval",
     "BRCRConfig",

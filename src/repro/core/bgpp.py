@@ -147,17 +147,33 @@ def _signed_key_planes(keys: np.ndarray, key_bits: int) -> List[np.ndarray]:
     return planes
 
 
+def _empty_result() -> BGPPResult:
+    """Degenerate result for an empty key set (shared by both select paths)."""
+    return BGPPResult(
+        selected=np.zeros(0, dtype=np.int64),
+        estimated_scores=np.zeros(0, dtype=np.float64),
+        survivors_per_round=[],
+        kv_bits_loaded=0,
+        mac_ops=0,
+        rounds_executed=0,
+        early_terminated=False,
+    )
+
+
 def bgpp_select(
     query: np.ndarray,
     keys: np.ndarray,
     config: Optional[BGPPConfig] = None,
-) -> BGPPResult:
-    """Run the progressive bit-grained filter for a single query row.
+):
+    """Run the progressive bit-grained filter for one query row or a batch.
 
     Parameters
     ----------
     query:
-        Integer query vector of length ``d`` (already quantised).
+        Integer query vector of length ``d`` (already quantised), or a
+        ``(B, d)`` matrix of query rows.  A 2-D input dispatches to
+        :func:`bgpp_select_batch` and returns a list of per-row results whose
+        fields are bit-identical to running each row through the 1-D path.
     keys:
         Integer key matrix of shape ``(n_keys, d)``.
     config:
@@ -165,30 +181,24 @@ def bgpp_select(
 
     Returns
     -------
-    BGPPResult
+    BGPPResult or List[BGPPResult]
         Selected key indices, per-round survivor counts and exact KV-traffic /
-        compute accounting.
+        compute accounting (one result per query row for batched input).
     """
     config = config or BGPPConfig()
     query = np.asarray(query)
     keys = np.asarray(keys)
+    if query.ndim == 2:
+        return bgpp_select_batch(query, keys, config=config)
     if query.ndim != 1:
-        raise ValueError(f"query must be 1-D, got shape {query.shape}")
+        raise ValueError(f"query must be 1-D or 2-D, got shape {query.shape}")
     if keys.ndim != 2 or keys.shape[1] != query.shape[0]:
         raise ValueError(
             f"keys must have shape (n, {query.shape[0]}), got {keys.shape}"
         )
     n_keys, d = keys.shape
     if n_keys == 0:
-        return BGPPResult(
-            selected=np.zeros(0, dtype=np.int64),
-            estimated_scores=np.zeros(0, dtype=np.float64),
-            survivors_per_round=[],
-            kv_bits_loaded=0,
-            mac_ops=0,
-            rounds_executed=0,
-            early_terminated=False,
-        )
+        return _empty_result()
 
     q = _reduced_precision_query(query, config.query_bits, full_bits=config.key_bits)
     planes = _signed_key_planes(keys, config.key_bits)
@@ -253,11 +263,98 @@ def bgpp_select_batch(
     keys: np.ndarray,
     config: Optional[BGPPConfig] = None,
 ) -> List[BGPPResult]:
-    """Run :func:`bgpp_select` for every query row of a ``(S, d)`` matrix."""
+    """Progressive filtering of a whole ``(B, d)`` query batch in one pass.
+
+    The expensive per-round work -- slicing the key bit planes and the
+    plane/query products -- is shared across the batch: the planes are built
+    once and each round issues a single ``(n_keys, d) @ (d, B)`` product
+    instead of ``B`` separate GEMVs.  The per-query threshold logic then runs
+    on the precomputed columns, so every returned :class:`BGPPResult` is
+    field-for-field identical to :func:`bgpp_select` on that row (including
+    the per-query KV-traffic and MAC accounting, which only count the keys
+    that were still alive for that query).
+    """
+    config = config or BGPPConfig()
     queries = np.asarray(queries)
+    keys = np.asarray(keys)
     if queries.ndim != 2:
         raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
-    return [bgpp_select(q, keys, config=config) for q in queries]
+    if keys.ndim != 2 or keys.shape[1] != queries.shape[1]:
+        raise ValueError(
+            f"keys must have shape (n, {queries.shape[1]}), got {keys.shape}"
+        )
+    n_queries = queries.shape[0]
+    n_keys, d = keys.shape
+    if n_queries == 0:
+        return []
+    if n_keys == 0:
+        return [_empty_result() for _ in range(n_queries)]
+
+    q_batch = _reduced_precision_query(queries, config.query_bits, full_bits=config.key_bits)
+    planes = _signed_key_planes(keys, config.key_bits)
+    rounds = min(config.rounds, len(planes))
+
+    psum = np.zeros((n_queries, n_keys), dtype=np.int64)
+    alive_mask = np.ones((n_queries, n_keys), dtype=bool)
+    done = np.zeros(n_queries, dtype=bool)
+    early = np.zeros(n_queries, dtype=bool)
+    # sign plane is fetched together with the first magnitude plane
+    kv_bits = np.full(n_queries, n_keys * d, dtype=np.int64)
+    mac_ops = np.zeros(n_queries, dtype=np.int64)
+    survivors: List[List[int]] = [[] for _ in range(n_queries)]
+
+    for r in range(rounds):
+        active = np.flatnonzero(~done)
+        if active.size == 0:
+            break
+        shift = config.key_bits - 2 - r  # weight of this magnitude plane
+        alpha = config.alpha_for_round(r)
+        # one shared pass over the key plane for every still-active query,
+        # restricted to the union of keys any of them still keeps alive so
+        # pruned keys cost no compute in later rounds (round 0: all keys)
+        union = np.flatnonzero(alive_mask[active].any(axis=0))
+        partial = planes[r][union] @ q_batch[active].T  # (n_union, n_active)
+        for j, b in enumerate(active):
+            alive = np.flatnonzero(alive_mask[b])
+            kv_bits[b] += alive.size * d
+            mac_ops[b] += alive.size * d
+            rows = np.searchsorted(union, alive)  # alive is a subset of union
+            psum[b, alive] += partial[rows, j] << shift
+
+            scores = psum[b, alive].astype(np.float64) * config.score_scale
+            current_max = scores.max()
+            threshold = current_max - alpha * config.radius
+
+            if threshold <= scores.min():
+                # clock-gated clipping: nothing can be pruned this round
+                survivors[b].append(int(alive.size))
+                continue
+
+            keep_mask = scores >= threshold
+            if keep_mask.sum() < config.min_keys:
+                order = np.argsort(scores)[::-1]
+                keep_mask = np.zeros_like(keep_mask)
+                keep_mask[order[: config.min_keys]] = True
+            alive = alive[keep_mask]
+            alive_mask[b] = False
+            alive_mask[b, alive] = True
+            survivors[b].append(int(alive.size))
+            if alive.size <= config.min_keys:
+                early[b] = True
+                done[b] = True
+
+    return [
+        BGPPResult(
+            selected=np.flatnonzero(alive_mask[b]).astype(np.int64),
+            estimated_scores=psum[b].astype(np.float64) * config.score_scale,
+            survivors_per_round=survivors[b],
+            kv_bits_loaded=int(kv_bits[b]),
+            mac_ops=int(mac_ops[b]),
+            rounds_executed=len(survivors[b]),
+            early_terminated=bool(early[b]),
+        )
+        for b in range(n_queries)
+    ]
 
 
 def value_topk_select(

@@ -156,18 +156,22 @@ def encode_plane(
             plane_index=plane_index,
         )
 
+    # Vectorised two-state coding: every m-bit column becomes one symbol of
+    # 1 bit (all-zero) or m+1 bits (indicator + raw column), laid out in the
+    # same group-major scan order the sequential encoder used.
     padded = _pad_rows(plane, group_size)
-    bits: List[np.ndarray] = []
-    for start in range(0, padded.shape[0], group_size):
-        block = padded[start : start + group_size]  # (m, H)
-        columns = block.T  # (H, m)
-        nonzero = columns.any(axis=1)
-        for col, nz in zip(columns, nonzero):
-            if nz:
-                bits.append(np.concatenate(([1], col)).astype(np.uint8))
-            else:
-                bits.append(np.zeros(1, dtype=np.uint8))
-    payload = np.concatenate(bits) if bits else np.zeros(0, dtype=np.uint8)
+    m = group_size
+    n_groups = padded.shape[0] // m
+    symbols = padded.reshape(n_groups, m, shape[1]).transpose(0, 2, 1).reshape(-1, m)
+    nonzero = symbols.any(axis=1)
+    lengths = np.where(nonzero, m + 1, 1)
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    payload = np.zeros(int(offsets[-1]), dtype=np.uint8)
+    nz_starts = offsets[:-1][nonzero]
+    payload[nz_starts] = 1
+    if nz_starts.size:
+        data_pos = nz_starts[:, None] + 1 + np.arange(m)[None, :]
+        payload[data_pos.reshape(-1)] = symbols[nonzero].reshape(-1)
     return EncodedPlane(
         payload=payload,
         compressed=True,
@@ -248,13 +252,25 @@ def default_plane_policy(
 
 
 class BSTCCodec:
-    """Plane-policy codec over whole sign-magnitude weight matrices."""
+    """Plane-policy codec over whole sign-magnitude weight matrices.
+
+    The codec counts its ``encode_calls`` / ``decode_calls`` so callers that
+    cache decoded planes (e.g. :class:`repro.core.engine.MCBPEngine`) can
+    assert that steady-state execution performs no redundant decodes.
+    """
 
     def __init__(self, config: Optional[BSTCConfig] = None) -> None:
         self.config = config or BSTCConfig()
+        self.encode_calls = 0
+        self.decode_calls = 0
+
+    def reset_counters(self) -> None:
+        self.encode_calls = 0
+        self.decode_calls = 0
 
     def encode(self, weights: np.ndarray) -> EncodedWeight:
         """Encode a signed integer weight matrix into per-plane BSTC streams."""
+        self.encode_calls += 1
         weights = np.asarray(weights)
         if weights.ndim != 2:
             raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
@@ -284,6 +300,7 @@ class BSTCCodec:
 
     def decode(self, encoded: EncodedWeight) -> np.ndarray:
         """Decode back to the exact signed integer weight matrix."""
+        self.decode_calls += 1
         slices = [decode_plane(p) for p in encoded.planes]
         from .bitslice import from_bitslices
 

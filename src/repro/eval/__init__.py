@@ -12,7 +12,11 @@ from .accuracy import (
     fidelity_metrics,
     quantization_sparsity_study,
 )
-from .breakdown import latency_breakdown_vs_prompt, latency_components
+from .breakdown import (
+    latency_breakdown_vs_prompt,
+    latency_components,
+    serving_breakdown_vs_sessions,
+)
 from .comparison import (
     cambricon_comparison,
     normalized_computation_prefill,
@@ -39,6 +43,7 @@ from .reporting import format_nested_table, format_table, format_value
 __all__ = [
     "latency_components",
     "latency_breakdown_vs_prompt",
+    "serving_breakdown_vs_sessions",
     "normalized_computation_prefill",
     "normalized_memory_access_decoding",
     "sota_stage_comparison",

@@ -16,7 +16,29 @@ from ..hw.accelerator import dense_stage_quantities
 from ..workloads.profile import AlgorithmProfile, profile_model
 from ..workloads.tasks import make_workload
 
-__all__ = ["latency_components", "latency_breakdown_vs_prompt"]
+__all__ = [
+    "latency_components",
+    "latency_breakdown_vs_prompt",
+    "serving_breakdown_vs_sessions",
+]
+
+
+# Large GEMMs run near peak tensor-core efficiency; the decode-stage weight
+# stream only sustains a fraction of the HBM bandwidth because each layer's
+# GEMV is a separate, short kernel.
+_GEMM_EFFICIENCY = 0.80
+_STREAM_EFFICIENCY = 0.50
+
+
+def _weight_stream_cycles(
+    dense: Dict[str, float], gpu: GPUAccelerator, shared_sessions: int = 1
+) -> float:
+    """Weight-streaming cycles; decode traffic is amortised across the
+    ``shared_sessions`` requests sharing one decoded-plane cache."""
+    bw = gpu.hbm_bytes_per_cycle * _STREAM_EFFICIENCY
+    return (
+        dense["prefill_weight_bytes"] + dense["decode_weight_bytes"] / shared_sessions
+    ) / bw
 
 
 def latency_components(
@@ -25,13 +47,18 @@ def latency_components(
     decode_len: int = 16,
     batch: int = 4,
     gpu: Optional[GPUAccelerator] = None,
+    shared_sessions: int = 1,
 ) -> Dict[str, float]:
     """Additive latency contributions (in GPU cycles) of one workload.
 
     Components follow the paper's categories: ``gemm`` (prefill + decode
     compute), ``weight_load`` (weight streaming), ``kv_load`` (KV-cache reads
     and writes) and ``others`` (activation movement and prediction overheads).
+    ``shared_sessions`` models the batched serving engine: the decode-stage
+    weight stream is paid once per step for all co-resident sessions.
     """
+    if shared_sessions < 1:
+        raise ValueError("shared_sessions must be >= 1")
     gpu = gpu or GPUAccelerator()
     workload = make_workload(
         model_name, "Dolly", batch=batch, prompt_len=prompt_len, decode_len=decode_len
@@ -39,12 +66,7 @@ def latency_components(
     dense = dense_stage_quantities(workload)
     model = workload.model
 
-    # Large GEMMs run near peak tensor-core efficiency; the decode-stage weight
-    # stream only sustains a fraction of the HBM bandwidth because each layer's
-    # GEMV is a separate, short kernel.
-    gemm_efficiency = 0.80
-    stream_efficiency = 0.50
-    peak = gpu.peak_ops_per_cycle * gemm_efficiency
+    peak = gpu.peak_ops_per_cycle * _GEMM_EFFICIENCY
     bw = gpu.hbm_bytes_per_cycle
 
     gemm_cycles = (
@@ -53,9 +75,7 @@ def latency_components(
         + dense["decode_linear_macs"]
         + dense["decode_attention_macs"]
     ) / peak
-    weight_cycles = (
-        dense["prefill_weight_bytes"] + dense["decode_weight_bytes"]
-    ) / (bw * stream_efficiency)
+    weight_cycles = _weight_stream_cycles(dense, gpu, shared_sessions)
     # KV traffic: cache writes during prefill, full-cache reads every decode
     # step, plus the tiled re-reads of K/V during prefill attention (one pass
     # over the cache per ~2k query tile, which is what makes KV loading grow
@@ -75,6 +95,50 @@ def latency_components(
         "kv_load": kv_cycles,
         "others": other_cycles,
     }
+
+
+def serving_breakdown_vs_sessions(
+    model_name: str = "Llama7B",
+    session_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    prompt_len: int = 2048,
+    decode_len: int = 16,
+    batch: int = 4,
+) -> List[Dict[str, float]]:
+    """Percentage breakdown and speedup as decoded planes are shared more widely.
+
+    Models step-level sharing in the batched serving engine
+    (:mod:`repro.serve`): ``shared_sessions`` co-scheduled requests stream
+    (and BSTC-decode) each layer's weights once per decode step instead of
+    once per request.  This is a conservative lower bound on the functional
+    engine's win -- it assumes weights are re-streamed every step, whereas an
+    `MCBPEngine` whose decoded-plane cache holds all layers decodes each
+    layer only once per run (near-zero steady-state weight traffic).  Each
+    row reports the four latency components as percentages plus the
+    end-to-end speedup over the unshared (``shared_sessions=1``) engine.
+    """
+    gpu = GPUAccelerator()
+    counts = list(session_counts)
+    totals: Dict[int, float] = {}
+    components: Dict[int, Dict[str, float]] = {}
+    for n in dict.fromkeys(counts + [1]):  # include the baseline exactly once
+        comps = latency_components(
+            model_name,
+            prompt_len,
+            decode_len=decode_len,
+            batch=batch,
+            gpu=gpu,
+            shared_sessions=n,
+        )
+        components[n] = comps
+        totals[n] = sum(comps.values())
+    base_total = totals[1]
+    rows: List[Dict[str, float]] = []
+    for n in counts:
+        total = totals[n]
+        row = {"shared_sessions": float(n), "speedup": base_total / total}
+        row.update({k: 100.0 * v / total for k, v in components[n].items()})
+        rows.append(row)
+    return rows
 
 
 def latency_breakdown_vs_prompt(

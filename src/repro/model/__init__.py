@@ -2,7 +2,13 @@
 
 from .attention import AttentionOutput, KVCache, MultiHeadAttention, causal_mask
 from .config import MODEL_CONFIGS, ModelConfig, get_model_config, scaled_down_config
-from .generation import GenerationResult, generate, greedy_sample, stage_gemm_macs
+from .generation import (
+    GenerationResult,
+    IncrementalDecoder,
+    generate,
+    greedy_sample,
+    stage_gemm_macs,
+)
 from .layers import Embedding, Linear, gelu, layer_norm, relu, rms_norm, silu, softmax
 from .transformer import (
     DecoderLayer,
@@ -33,6 +39,7 @@ __all__ = [
     "QuantizedTransformer",
     "ForwardStats",
     "GenerationResult",
+    "IncrementalDecoder",
     "generate",
     "greedy_sample",
     "stage_gemm_macs",

@@ -18,7 +18,13 @@ from .attention import KVCache
 from .config import ModelConfig
 from .transformer import ForwardStats, TransformerModel
 
-__all__ = ["GenerationResult", "greedy_sample", "generate", "stage_gemm_macs"]
+__all__ = [
+    "GenerationResult",
+    "IncrementalDecoder",
+    "greedy_sample",
+    "generate",
+    "stage_gemm_macs",
+]
 
 KeyPredictor = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
@@ -51,6 +57,68 @@ def greedy_sample(logits: np.ndarray) -> int:
     return int(np.argmax(last))
 
 
+class IncrementalDecoder:
+    """One generation stream: a model's KV caches plus prefill/step methods.
+
+    This is the unit the serving layer multiplexes -- each concurrent request
+    owns one decoder (its KV caches and per-stage statistics) while all
+    decoders share the same underlying model weights.  :func:`generate` is a
+    thin single-stream driver over the same API.
+
+    ``model`` may be a :class:`~repro.model.transformer.TransformerModel` or
+    :class:`~repro.model.transformer.QuantizedTransformer` -- anything exposing
+    ``forward(tokens, caches, predictor)`` and ``new_cache()``.
+    """
+
+    def __init__(self, model, predictor: Optional[KeyPredictor] = None) -> None:
+        self.model = model
+        self.predictor = predictor
+        self.caches: List[KVCache] = model.new_cache()
+        self.prefill_stats: Optional[ForwardStats] = None
+        self.decode_stats: List[ForwardStats] = []
+        self.last_logits: Optional[np.ndarray] = None
+
+    @property
+    def seq_len(self) -> int:
+        """Number of tokens currently held in the KV cache."""
+        return self.caches[0].seq_len if self.caches else 0
+
+    def prefill(self, prompt_tokens: Sequence[int]) -> int:
+        """Process the whole prompt in parallel; returns the first sampled token."""
+        prompt_tokens = [int(t) for t in prompt_tokens]
+        if not prompt_tokens:
+            raise ValueError("prompt must contain at least one token")
+        if self.prefill_stats is not None:
+            raise RuntimeError("decoder was already prefilled")
+        logits, stats = self.model.forward(
+            prompt_tokens, caches=self.caches, predictor=self.predictor
+        )
+        self.prefill_stats = stats
+        self.last_logits = logits
+        return greedy_sample(logits)
+
+    def step(self, token: int) -> int:
+        """Feed one accepted token through the model; returns the next token."""
+        if self.prefill_stats is None:
+            raise RuntimeError("prefill() must run before step()")
+        logits, stats = self.model.forward(
+            [int(token)], caches=self.caches, predictor=self.predictor
+        )
+        self.decode_stats.append(stats)
+        self.last_logits = logits
+        return greedy_sample(logits)
+
+    @property
+    def keys_attended(self) -> int:
+        total = self.prefill_stats.keys_attended if self.prefill_stats else 0
+        return total + sum(s.keys_attended for s in self.decode_stats)
+
+    @property
+    def keys_total(self) -> int:
+        total = self.prefill_stats.keys_total if self.prefill_stats else 0
+        return total + sum(s.keys_total for s in self.decode_stats)
+
+
 def generate(
     model,
     prompt_tokens: Sequence[int],
@@ -66,37 +134,26 @@ def generate(
     ``forward(tokens, caches, predictor)`` and ``new_cache()``.
     """
     prompt_tokens = [int(t) for t in prompt_tokens]
-    if not prompt_tokens:
-        raise ValueError("prompt must contain at least one token")
-    caches: List[KVCache] = model.new_cache()
-
-    logits, prefill_stats = model.forward(
-        prompt_tokens, caches=caches, predictor=predictor
-    )
+    decoder = IncrementalDecoder(model, predictor=predictor)
+    next_token = decoder.prefill(prompt_tokens)
     generated: List[int] = []
-    decode_stats: List[ForwardStats] = []
-    history: List[np.ndarray] = [logits] if keep_logits else []
+    history: List[np.ndarray] = [decoder.last_logits] if keep_logits else []
 
-    next_token = greedy_sample(logits)
     for step in range(max_new_tokens):
         generated.append(next_token)
         if eos_token is not None and next_token == eos_token:
             break
         if step == max_new_tokens - 1:
             break  # no further token is needed, skip the trailing forward pass
-        step_logits, stats = model.forward(
-            [next_token], caches=caches, predictor=predictor
-        )
-        decode_stats.append(stats)
+        next_token = decoder.step(next_token)
         if keep_logits:
-            history.append(step_logits)
-        next_token = greedy_sample(step_logits)
+            history.append(decoder.last_logits)
 
     return GenerationResult(
         prompt_tokens=prompt_tokens,
         generated_tokens=generated,
-        prefill_stats=prefill_stats,
-        decode_stats=decode_stats,
+        prefill_stats=decoder.prefill_stats,
+        decode_stats=decoder.decode_stats,
         logits_history=history,
     )
 

@@ -1,0 +1,30 @@
+"""Batched serving layer: continuous batching over one shared MCBP engine.
+
+This package turns the single-stream functional reproduction into a
+multi-tenant serving simulator:
+
+* :mod:`repro.serve.session` -- per-request state (KV caches, lifecycle
+  timestamps, traffic counters) built on
+  :class:`~repro.model.generation.IncrementalDecoder`;
+* :mod:`repro.serve.scheduler` -- a continuous-batching scheduler that admits,
+  steps and retires many sessions against one shared model, reporting
+  per-request latency and aggregate throughput.
+
+The serving-side payoff of the paper's compression stack comes from the
+engine's decoded-plane LRU cache (:class:`repro.core.engine.MCBPEngine`):
+with many co-resident sessions the BSTC decode of each layer is paid once per
+engine step rather than once per request, just as a compressed tile set is
+decoded once and reused across a large reconstruction.
+"""
+
+from .scheduler import ContinuousBatchingScheduler, RequestMetrics, ServingReport
+from .session import GenerationSession, Request, SessionState
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "GenerationSession",
+    "Request",
+    "RequestMetrics",
+    "ServingReport",
+    "SessionState",
+]

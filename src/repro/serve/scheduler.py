@@ -1,0 +1,219 @@
+"""Continuous-batching scheduler multiplexing sessions through one model.
+
+The scheduler advances simulated time in *engine steps*.  Each step it
+
+1. admits arrived requests, earliest arrival first (submission order breaks
+   ties), until the active set holds ``max_active`` sessions -- an admission
+   runs the request's prefill and emits its first token;
+2. runs one decode step for every other active session, so a step emits up to
+   ``max_active`` tokens;
+3. retires finished sessions, freeing their slots for the next step.
+
+Because every session shares one model -- and, when the model executes
+through :class:`repro.core.engine.MCBPEngine`, one decoded-plane cache --
+the per-layer BSTC decode cost is paid once per step instead of once per
+request, which is the serving-side analogue of BRCR/BSTC amortising work
+across a whole weight matrix.
+
+The result of a run is a :class:`ServingReport` with per-request queueing
+delay, time-to-first-token, end-to-end latency and attention-traffic volume,
+plus aggregate throughput.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.generation import KeyPredictor
+from .session import GenerationSession, Request, RequestMetrics
+
+__all__ = ["RequestMetrics", "ServingReport", "ContinuousBatchingScheduler"]
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of a scheduler run."""
+
+    steps: int
+    requests: List[RequestMetrics] = field(default_factory=list)
+    max_concurrency: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.n_generated for r in self.requests)
+
+    @property
+    def throughput_tokens_per_step(self) -> float:
+        return self.total_tokens / self.steps if self.steps else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.requests:
+            return 0.0
+        return float(np.percentile([r.latency_steps for r in self.requests], q))
+
+    @property
+    def mean_latency_steps(self) -> float:
+        if not self.requests:
+            return 0.0
+        return float(np.mean([r.latency_steps for r in self.requests]))
+
+    @property
+    def mean_queue_delay_steps(self) -> float:
+        if not self.requests:
+            return 0.0
+        return float(np.mean([r.queue_delay_steps for r in self.requests]))
+
+    def summary(self) -> str:
+        """Human-readable per-request table plus aggregate lines."""
+        lines = [
+            f"{'request':>12} {'arrive':>7} {'admit':>6} {'first':>6} "
+            f"{'finish':>7} {'tokens':>7} {'latency':>8} {'attn%':>6}"
+        ]
+        for r in sorted(self.requests, key=lambda r: r.arrival_step):
+            lines.append(
+                f"{r.request_id:>12} {r.arrival_step:>7} {r.admitted_step:>6} "
+                f"{r.first_token_step:>6} {r.finished_step:>7} {r.n_generated:>7} "
+                f"{r.latency_steps:>8} {100.0 * r.attention_density:>5.1f}%"
+            )
+        lines.append(
+            f"steps={self.steps} tokens={self.total_tokens} "
+            f"throughput={self.throughput_tokens_per_step:.2f} tok/step "
+            f"mean_latency={self.mean_latency_steps:.1f} "
+            f"p95_latency={self.latency_percentile(95):.1f} "
+            f"peak_concurrency={self.max_concurrency}"
+        )
+        return "\n".join(lines)
+
+
+class ContinuousBatchingScheduler:
+    """Multiplexes many generation sessions through one shared model.
+
+    Parameters
+    ----------
+    model:
+        Shared inference substrate (``forward``/``new_cache``), typically a
+        :class:`~repro.model.transformer.TransformerModel` or
+        :class:`~repro.model.transformer.QuantizedTransformer`.
+    max_active:
+        Maximum number of concurrently decoding sessions (batch slots).
+    predictor:
+        Optional BGPP/top-k key predictor shared by all sessions.
+    """
+
+    def __init__(
+        self,
+        model,
+        max_active: int = 8,
+        predictor: Optional[KeyPredictor] = None,
+    ) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self.model = model
+        self.max_active = max_active
+        self.predictor = predictor
+        self.current_step = 0
+        # min-heap keyed by (arrival_step, submission index): earliest arrival
+        # first, submission order on ties, O(log n) per admission
+        self._queue: List[Tuple[int, int, GenerationSession]] = []
+        self._request_ids: set = set()
+        self._submitted = 0
+        self._active: List[GenerationSession] = []
+        self._finished: List[GenerationSession] = []
+        self._max_concurrency = 0
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: Request) -> GenerationSession:
+        # step() keys its emitted-token dict by request_id, so ids must be
+        # unique or one session's tokens would silently shadow another's
+        if request.request_id in self._request_ids:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        self._request_ids.add(request.request_id)
+        session = GenerationSession(request, self.model, predictor=self.predictor)
+        heapq.heappush(self._queue, (request.arrival_step, self._submitted, session))
+        self._submitted += 1
+        return session
+
+    def submit_many(self, requests: Iterable[Request]) -> List[GenerationSession]:
+        return [self.submit(r) for r in requests]
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    @property
+    def n_finished(self) -> int:
+        return len(self._finished)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue or self._active)
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self) -> Dict[str, int]:
+        """Advance one engine step; returns ``{request_id: emitted_token}``."""
+        emitted: Dict[str, int] = {}
+        step = self.current_step
+
+        # decode the sessions that were already active before admissions, in
+        # admission order (continuous batching: old and new requests share
+        # the same step)
+        decoding = list(self._active)
+
+        # earliest-arrival-first admission into free slots (submission order
+        # breaks ties, so arrival-sorted streams degenerate to plain FIFO)
+        free = self.max_active - len(self._active)
+        admitted: List[GenerationSession] = []
+        while free > 0 and self._queue and self._queue[0][0] <= step:
+            _, _, session = heapq.heappop(self._queue)
+            self._active.append(session)
+            admitted.append(session)
+            free -= 1
+
+        self._max_concurrency = max(self._max_concurrency, len(self._active))
+
+        for session in admitted:
+            emitted[session.request.request_id] = session.admit(step)
+        for session in decoding:
+            emitted[session.request.request_id] = session.decode_step(step)
+
+        for session in list(self._active):
+            if session.is_finished:
+                self._active.remove(session)
+                self._finished.append(session)
+
+        self.current_step += 1
+        return emitted
+
+    def run(self, max_steps: int = 100_000) -> ServingReport:
+        """Step until every submitted request finishes (or ``max_steps``)."""
+        while self.has_work and self.current_step < max_steps:
+            self.step()
+        if self.has_work:
+            raise RuntimeError(
+                f"scheduler did not drain within {max_steps} steps "
+                f"({self.n_queued} queued, {self.n_active} active)"
+            )
+        return self.report()
+
+    def report(self) -> ServingReport:
+        """Snapshot of the *completed* requests so far.
+
+        Queued and still-active sessions are excluded, so a mid-run call
+        (while :attr:`has_work` is true) understates total tokens, throughput
+        and the latency aggregates; :meth:`run` only reports after draining.
+        """
+        return ServingReport(
+            steps=self.current_step,
+            max_concurrency=self._max_concurrency,
+            requests=[session.to_metrics() for session in self._finished],
+        )

@@ -1,0 +1,174 @@
+"""Per-request generation sessions for the batched serving engine.
+
+A :class:`Request` describes one user generation job (prompt, decode budget,
+arrival time); a :class:`GenerationSession` is its live server-side state: an
+:class:`~repro.model.generation.IncrementalDecoder` holding the request's KV
+caches plus lifecycle timestamps and traffic counters.  Sessions are the unit
+the continuous-batching scheduler admits, steps and retires -- many sessions
+share one model (and one decoded-plane cache) while each keeps its own cache
+and statistics, mirroring how a serving accelerator multiplexes independent
+streams over resident weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..model.generation import IncrementalDecoder, KeyPredictor
+
+__all__ = ["Request", "RequestMetrics", "SessionState", "GenerationSession"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation job submitted to the serving engine."""
+
+    request_id: str
+    prompt_tokens: Sequence[int]
+    max_new_tokens: int = 16
+    eos_token: Optional[int] = None
+    arrival_step: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.prompt_tokens) == 0:  # len(), not truthiness: arrays are welcome
+            raise ValueError(f"request {self.request_id!r} has an empty prompt")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.arrival_step < 0:
+            raise ValueError("arrival_step must be >= 0")
+
+
+class SessionState(Enum):
+    QUEUED = "queued"
+    ACTIVE = "active"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Lifecycle and traffic metrics of one completed request.
+
+    The single source of truth for the derived serving metrics; live sessions
+    produce one via :meth:`GenerationSession.to_metrics` once finished.
+    """
+
+    request_id: str
+    arrival_step: int
+    admitted_step: int
+    first_token_step: int
+    finished_step: int
+    n_generated: int
+    keys_attended: int
+    keys_total: int
+
+    @property
+    def queue_delay_steps(self) -> int:
+        return self.admitted_step - self.arrival_step
+
+    @property
+    def time_to_first_token_steps(self) -> int:
+        return self.first_token_step - self.arrival_step
+
+    @property
+    def latency_steps(self) -> int:
+        return self.finished_step - self.arrival_step
+
+    @property
+    def attention_density(self) -> float:
+        return self.keys_attended / self.keys_total if self.keys_total else 1.0
+
+
+class GenerationSession:
+    """Server-side state of one request: KV caches, tokens and timestamps.
+
+    The token-emission schedule matches :func:`repro.model.generation.generate`
+    exactly: the first token comes out of the prefill forward pass, every later
+    token out of one decode step, and no trailing forward pass runs once the
+    decode budget (or EOS) is reached.  A request served through a session
+    therefore produces bit-identical tokens to a solo ``generate()`` call.
+    """
+
+    def __init__(
+        self,
+        request: Request,
+        model,
+        predictor: Optional[KeyPredictor] = None,
+    ) -> None:
+        self.request = request
+        self.decoder = IncrementalDecoder(model, predictor=predictor)
+        self.state = SessionState.QUEUED
+        self.generated_tokens: List[int] = []
+        self.admitted_step: Optional[int] = None
+        self.first_token_step: Optional[int] = None
+        self.finished_step: Optional[int] = None
+        self._pending_token: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def admit(self, step: int) -> int:
+        """Prefill the prompt and emit the request's first token."""
+        if self.state is not SessionState.QUEUED:
+            raise RuntimeError(f"session {self.request.request_id!r} already admitted")
+        self.state = SessionState.ACTIVE
+        self.admitted_step = step
+        self._pending_token = self.decoder.prefill(self.request.prompt_tokens)
+        return self._commit(step)
+
+    def decode_step(self, step: int) -> int:
+        """Emit one more token (running a decode forward pass when needed)."""
+        if self.state is not SessionState.ACTIVE:
+            raise RuntimeError(
+                f"session {self.request.request_id!r} is not active ({self.state.value})"
+            )
+        self._pending_token = self.decoder.step(self.generated_tokens[-1])
+        return self._commit(step)
+
+    def _commit(self, step: int) -> int:
+        token = int(self._pending_token)
+        self.generated_tokens.append(token)
+        if self.first_token_step is None:
+            self.first_token_step = step
+        eos = self.request.eos_token
+        if (eos is not None and token == eos) or (
+            len(self.generated_tokens) >= self.request.max_new_tokens
+        ):
+            self.state = SessionState.FINISHED
+            self.finished_step = step
+        return token
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is SessionState.FINISHED
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated_tokens)
+
+    @property
+    def keys_attended(self) -> int:
+        return self.decoder.keys_attended
+
+    @property
+    def keys_total(self) -> int:
+        return self.decoder.keys_total
+
+    def to_metrics(self) -> RequestMetrics:
+        """Snapshot the finished session as an immutable metrics record."""
+        if not self.is_finished:
+            raise RuntimeError(
+                f"session {self.request.request_id!r} is not finished yet"
+            )
+        return RequestMetrics(
+            request_id=self.request.request_id,
+            arrival_step=self.request.arrival_step,
+            admitted_step=int(self.admitted_step),
+            first_token_step=int(self.first_token_step),
+            finished_step=int(self.finished_step),
+            n_generated=self.n_generated,
+            keys_attended=self.keys_attended,
+            keys_total=self.keys_total,
+        )

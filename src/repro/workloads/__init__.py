@@ -9,6 +9,7 @@ from .tasks import (
     all_workloads,
     make_workload,
 )
+from .traffic import poisson_arrival_steps, sample_requests
 
 __all__ = [
     "TaskSpec",
@@ -20,4 +21,6 @@ __all__ = [
     "AlgorithmProfile",
     "profile_model",
     "QUANT_SCHEMES",
+    "poisson_arrival_steps",
+    "sample_requests",
 ]

@@ -1,0 +1,103 @@
+"""Synthetic request traffic for the serving simulator (heavy-tenancy mixes).
+
+The paper's workload table (§5.1) fixes per-task prompt/decode lengths; a
+serving study additionally needs *arrival processes*: many users submitting
+requests of mixed shapes over time.  This module samples reproducible request
+streams -- Poisson-like arrivals over a task mix drawn from
+:data:`repro.workloads.tasks.BENCHMARK_TASKS` -- scaled down so the NumPy
+functional model can execute them, while keeping each task's prompt:decode
+ratio.  The output feeds :class:`repro.serve.ContinuousBatchingScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+# Dependency direction: workloads.traffic -> serve (for the Request type) is
+# one-way by design; nothing under repro.serve may import repro.workloads,
+# or this line becomes an import cycle.
+from ..serve.session import Request
+from .tasks import BENCHMARK_TASKS, TaskSpec
+
+__all__ = ["poisson_arrival_steps", "sample_requests"]
+
+
+def poisson_arrival_steps(
+    n_requests: int,
+    mean_interarrival: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Cumulative integer arrival steps of a Poisson process.
+
+    ``mean_interarrival`` is the expected number of engine steps between
+    consecutive arrivals; ``0`` degenerates to every request arriving at
+    step 0 (a closed-loop burst).
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if mean_interarrival < 0:
+        raise ValueError("mean_interarrival must be >= 0")
+    if mean_interarrival == 0:
+        return np.zeros(n_requests, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=mean_interarrival, size=n_requests)
+    return np.floor(np.cumsum(gaps)).astype(np.int64)
+
+
+def sample_requests(
+    n_requests: int,
+    vocab_size: int,
+    tasks: Optional[Sequence[str]] = None,
+    mean_interarrival: float = 1.0,
+    prompt_divisor: int = 64,
+    decode_divisor: int = 4,
+    max_prompt_len: int = 64,
+    max_decode_len: int = 32,
+    seed: int = 0,
+) -> List[Request]:
+    """Sample a reproducible request stream over a benchmark-task mix.
+
+    Each request draws a task uniformly from ``tasks``, scales the task's
+    prompt/decode lengths by ``prompt_divisor`` / ``decode_divisor`` (clamped
+    to the ``max_*`` bounds and to at least one token, preserving the relative
+    shape of the task mix) and fills the prompt with uniform random token ids
+    below ``vocab_size``.
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if vocab_size < 1:
+        raise ValueError("vocab_size must be >= 1")
+    if prompt_divisor < 1 or decode_divisor < 1:
+        raise ValueError("length divisors must be >= 1")
+    task_names = list(tasks) if tasks is not None else sorted(BENCHMARK_TASKS)
+    if not task_names:
+        raise ValueError("tasks must not be empty")
+    specs: List[TaskSpec] = []
+    for name in task_names:
+        if name not in BENCHMARK_TASKS:
+            raise KeyError(
+                f"unknown task {name!r}; available: {sorted(BENCHMARK_TASKS)}"
+            )
+        specs.append(BENCHMARK_TASKS[name])
+
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrival_steps(
+        n_requests, mean_interarrival, seed=seed + 1
+    )
+    requests: List[Request] = []
+    for i in range(n_requests):
+        spec = specs[int(rng.integers(0, len(specs)))]
+        prompt_len = min(max(1, spec.prompt_len // prompt_divisor), max_prompt_len)
+        decode_len = min(max(1, spec.decode_len // decode_divisor), max_decode_len)
+        prompt = rng.integers(0, vocab_size, size=prompt_len).tolist()
+        requests.append(
+            Request(
+                request_id=f"req{i:03d}-{spec.name}",
+                prompt_tokens=prompt,
+                max_new_tokens=decode_len,
+                arrival_step=int(arrivals[i]),
+            )
+        )
+    return requests

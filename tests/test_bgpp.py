@@ -113,7 +113,18 @@ class TestBGPPSelect:
         with pytest.raises(ValueError):
             bgpp_select(np.array([1, 2, 3]), np.zeros((4, 2), dtype=np.int64))
         with pytest.raises(ValueError):
-            bgpp_select(np.zeros((2, 2), dtype=np.int64), np.zeros((4, 2), dtype=np.int64))
+            bgpp_select(np.zeros((2, 3), dtype=np.int64), np.zeros((4, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            bgpp_select(np.zeros((2, 2, 2), dtype=np.int64), np.zeros((4, 2), dtype=np.int64))
+
+    def test_two_dim_query_dispatches_to_batch(self, attention_data):
+        queries, keys, scale = attention_data
+        results = bgpp_select(queries[:4], keys, BGPPConfig(score_scale=scale))
+        assert isinstance(results, list) and len(results) == 4
+        for q, res in zip(queries[:4], results):
+            single = bgpp_select(q, keys, BGPPConfig(score_scale=scale))
+            assert np.array_equal(res.selected, single.selected)
+            assert res.kv_bits_loaded == single.kv_bits_loaded
 
     def test_batch_helper(self, attention_data):
         queries, keys, scale = attention_data

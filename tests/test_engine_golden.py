@@ -1,0 +1,142 @@
+"""Golden regression test for :class:`repro.core.engine.EngineStats`.
+
+Runs one fixed, fully seeded workload -- repeated GEMMs through a
+deliberately undersized decoded-plane cache (so LRU eviction is exercised)
+plus single and batched BGPP selection -- and pins *every* counter.  Perf
+refactors of BRCR/BSTC/BGPP must not silently change the accounting; if a
+change here is intentional, the expected values below must be updated in the
+same commit with an explanation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BGPPConfig
+from repro.core.engine import EngineStats, MCBPEngine
+from repro.sparsity.synthetic import gaussian_int_weights
+
+GOLDEN = {
+    "gemm_calls": 10,
+    "dense_macs": 35328,
+    "brcr_additions": 79361,
+    "weight_bits_raw": 184320,
+    "weight_bits_compressed": 179040,
+    "kv_bits_loaded": 7776,
+    "kv_bits_dense": 30720,
+    "keys_selected": 5,
+    "keys_total": 240,
+    "cache_hits": 1,
+    "cache_misses": 9,
+}
+
+
+def run_fixed_workload() -> MCBPEngine:
+    engine = MCBPEngine(
+        group_size=4,
+        weight_bits=8,
+        bgpp_config=BGPPConfig(rounds=3, alpha=0.55, radius=3.0, score_scale=0.02),
+        plane_cache_entries=2,  # three layers cycle through two slots -> evictions
+    )
+    engine.register_weight("wq", gaussian_int_weights((24, 96), seed=1))
+    engine.register_weight("wk", gaussian_int_weights((24, 96), seed=2))
+    engine.register_weight("ffn", gaussian_int_weights((32, 96), seed=3))
+    rng = np.random.default_rng(42)
+    for _ in range(3):
+        x = rng.integers(-128, 128, size=96)
+        engine.gemm("wq", x)
+        engine.gemm("wk", x)
+        engine.gemm("ffn", x)
+    xb = rng.integers(-128, 128, size=(96, 4))
+    engine.gemm("ffn", xb)  # the only lookup whose layer is still resident
+    keys = gaussian_int_weights((48, 16), seed=4)
+    queries = rng.integers(-128, 128, size=(4, 16))
+    engine.select_keys(queries[0], keys)
+    engine.select_keys(queries, keys)
+    return engine
+
+
+class TestEngineGolden:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return run_fixed_workload()
+
+    @pytest.mark.parametrize("counter,expected", sorted(GOLDEN.items()))
+    def test_counter_pinned(self, engine, counter, expected):
+        assert getattr(engine.stats, counter) == expected
+
+    def test_decode_calls_track_cache_misses(self, engine):
+        assert engine.codec.decode_calls == GOLDEN["cache_misses"]
+
+    def test_derived_ratios_pinned(self, engine):
+        assert engine.stats.compute_reduction == pytest.approx(3.561245448016028)
+        assert engine.stats.weight_compression_ratio == pytest.approx(1.029490616621984)
+        assert engine.stats.cache_hit_rate == pytest.approx(0.1)
+
+    def test_steady_state_cache_eliminates_decodes(self):
+        engine = MCBPEngine(plane_cache_entries=8)
+        engine.register_weight("w", gaussian_int_weights((16, 64), seed=5))
+        x = np.arange(64)
+        for _ in range(6):
+            engine.gemm("w", x)
+        assert engine.codec.decode_calls == 1
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.cache_hits == 5
+        # weight traffic is charged once: hits fetch no compressed stream
+        layer = engine._layers["w"]
+        assert engine.stats.weight_bits_compressed == layer.compressed_bits
+
+    def test_disabled_cache_restores_seed_accounting(self):
+        engine = MCBPEngine(plane_cache_entries=0)
+        engine.register_weight("w", gaussian_int_weights((16, 64), seed=5))
+        x = np.arange(64)
+        for _ in range(4):
+            engine.gemm("w", x)
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 4
+        assert engine.codec.decode_calls == 4
+        layer = engine._layers["w"]
+        assert engine.stats.weight_bits_compressed == 4 * layer.compressed_bits
+
+
+class TestComputeReductionBitWidth:
+    """compute_reduction must derive its dense baseline from weight_bits."""
+
+    def test_four_bit_config_reports_four_bit_baseline(self):
+        engine = MCBPEngine(group_size=4, weight_bits=4)
+        engine.register_weight("w", gaussian_int_weights((16, 64), bits=4, seed=6))
+        out = engine.gemm("w", np.arange(64))
+        weights = engine.codec.decode(engine._layers["w"].encoded)
+        assert np.array_equal(out, weights.astype(np.int64) @ np.arange(64))
+        stats = engine.stats
+        assert stats.compute_reduction == pytest.approx(
+            (stats.dense_macs * 4.0) / stats.brcr_additions
+        )
+
+    def test_eight_bit_default_unchanged(self):
+        stats = EngineStats(dense_macs=100, brcr_additions=200)
+        assert stats.compute_reduction == pytest.approx(4.0)
+
+    def test_reset_preserves_bit_width(self):
+        engine = MCBPEngine(weight_bits=4)
+        engine.reset_stats()
+        assert engine.stats.weight_bits == 4
+
+
+class TestResetStatsCachePolicy:
+    def test_warm_reset_measures_steady_state(self):
+        engine = MCBPEngine()
+        engine.register_weight("w", gaussian_int_weights((16, 64), seed=7))
+        engine.gemm("w", np.arange(64))
+        engine.reset_stats()
+        engine.gemm("w", np.arange(64))
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.weight_bits_compressed == 0  # no fetch in the window
+
+    def test_cold_reset_restores_seed_accounting(self):
+        engine = MCBPEngine()
+        engine.register_weight("w", gaussian_int_weights((16, 64), seed=7))
+        engine.gemm("w", np.arange(64))
+        engine.reset_stats(clear_plane_cache=True)
+        engine.gemm("w", np.arange(64))
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.weight_compression_ratio > 1.0
