@@ -262,6 +262,8 @@ def bgpp_select_batch(
     queries: np.ndarray,
     keys: np.ndarray,
     config: Optional[BGPPConfig] = None,
+    key_lengths: Optional[Sequence[int]] = None,
+    score_scales: Optional[Sequence[float]] = None,
 ) -> List[BGPPResult]:
     """Progressive filtering of a whole ``(B, d)`` query batch in one pass.
 
@@ -273,6 +275,20 @@ def bgpp_select_batch(
     field-for-field identical to :func:`bgpp_select` on that row (including
     the per-query KV-traffic and MAC accounting, which only count the keys
     that were still alive for that query).
+
+    Parameters
+    ----------
+    key_lengths:
+        Optional per-query key-prefix lengths for *ragged* batches: query row
+        ``b`` only considers ``keys[:key_lengths[b]]``, exactly as if it were
+        run through :func:`bgpp_select` against that truncated key matrix
+        (causal prefill rows and co-scheduled decode streams have different
+        context lengths but share one key buffer).  ``None`` means every query
+        sees all keys.
+    score_scales:
+        Optional per-query dequantisation scale overriding
+        ``config.score_scale`` row by row (the attention predictors fit the
+        scale from per-row query/key statistics).
     """
     config = config or BGPPConfig()
     queries = np.asarray(queries)
@@ -287,6 +303,26 @@ def bgpp_select_batch(
     n_keys, d = keys.shape
     if n_queries == 0:
         return []
+
+    if key_lengths is None:
+        lengths = np.full(n_queries, n_keys, dtype=np.int64)
+    else:
+        lengths = np.asarray(key_lengths, dtype=np.int64)
+        if lengths.shape != (n_queries,):
+            raise ValueError(
+                f"key_lengths must have shape ({n_queries},), got {lengths.shape}"
+            )
+        if lengths.size and (lengths.min() < 0 or lengths.max() > n_keys):
+            raise ValueError("key_lengths entries must lie in [0, n_keys]")
+    if score_scales is None:
+        scales = np.full(n_queries, float(config.score_scale))
+    else:
+        scales = np.asarray(score_scales, dtype=np.float64)
+        if scales.shape != (n_queries,):
+            raise ValueError(
+                f"score_scales must have shape ({n_queries},), got {scales.shape}"
+            )
+
     if n_keys == 0:
         return [_empty_result() for _ in range(n_queries)]
 
@@ -295,11 +331,12 @@ def bgpp_select_batch(
     rounds = min(config.rounds, len(planes))
 
     psum = np.zeros((n_queries, n_keys), dtype=np.int64)
-    alive_mask = np.ones((n_queries, n_keys), dtype=bool)
-    done = np.zeros(n_queries, dtype=bool)
+    # ragged batches: row b only ever sees its first key_lengths[b] keys
+    alive_mask = np.arange(n_keys)[None, :] < lengths[:, None]
+    done = lengths == 0  # nothing to filter for empty prefixes
     early = np.zeros(n_queries, dtype=bool)
     # sign plane is fetched together with the first magnitude plane
-    kv_bits = np.full(n_queries, n_keys * d, dtype=np.int64)
+    kv_bits = lengths * d
     mac_ops = np.zeros(n_queries, dtype=np.int64)
     survivors: List[List[int]] = [[] for _ in range(n_queries)]
 
@@ -321,7 +358,7 @@ def bgpp_select_batch(
             rows = np.searchsorted(union, alive)  # alive is a subset of union
             psum[b, alive] += partial[rows, j] << shift
 
-            scores = psum[b, alive].astype(np.float64) * config.score_scale
+            scores = psum[b, alive].astype(np.float64) * scales[b]
             current_max = scores.max()
             threshold = current_max - alpha * config.radius
 
@@ -346,7 +383,7 @@ def bgpp_select_batch(
     return [
         BGPPResult(
             selected=np.flatnonzero(alive_mask[b]).astype(np.int64),
-            estimated_scores=psum[b].astype(np.float64) * config.score_scale,
+            estimated_scores=psum[b, : lengths[b]].astype(np.float64) * scales[b],
             survivors_per_round=survivors[b],
             kv_bits_loaded=int(kv_bits[b]),
             mac_ops=int(mac_ops[b]),
@@ -433,6 +470,12 @@ def make_bgpp_predictor(
     aggressiveness consistent across models whose raw attention-logit ranges
     differ (trained LLMs have wide, peaked logits; the synthetic models here
     have narrow ones).
+
+    The returned callable also carries a ``select_ragged(queries, keys,
+    lengths)`` attribute: the batched form the attention modules use to run
+    every query row of a causal prefill through one shared filter pass (row
+    ``i`` selects among ``keys[:lengths[i]]``), bit-exact against calling the
+    predictor row by row.
     """
 
     def predictor(query: np.ndarray, keys: np.ndarray) -> np.ndarray:
@@ -460,11 +503,73 @@ def make_bgpp_predictor(
         )
         return bgpp_select(q_int, k_int, config).selected
 
+    def select_ragged(
+        queries: np.ndarray, keys: np.ndarray, lengths: Sequence[int]
+    ) -> List[np.ndarray]:
+        """Ragged-batch selection: row ``i`` filters ``keys[:lengths[i]]``.
+
+        Reproduces the per-row quantisation exactly -- the key scale of row
+        ``i`` is the running maximum of ``|keys|`` over its prefix -- and
+        groups rows that share a key scale so each group pays one plane build
+        and one :func:`bgpp_select_batch` call.  The returned indices are
+        bit-identical to ``predictor(queries[i], keys[:lengths[i]])``.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        n_rows = queries.shape[0]
+        out: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_rows)]
+        nonempty = np.flatnonzero(lengths > 0)
+        if nonempty.size == 0:
+            return out
+        d = queries.shape[1]
+        q_scales = np.maximum(np.abs(queries).max(axis=1), 1e-12) / 127.0
+        q_int = np.clip(np.round(queries / q_scales[:, None]), -127, 127).astype(np.int64)
+        # the single-row path norms a 1-D vector; keep that exact op per row
+        q_norms = np.array([float(np.linalg.norm(q_int[i])) for i in range(n_rows)])
+        key_cummax = np.maximum.accumulate(np.abs(keys).max(axis=1))
+        k_scales = np.zeros(n_rows)
+        k_scales[nonempty] = np.maximum(key_cummax[lengths[nonempty] - 1], 1e-12) / 127.0
+        for scale in np.unique(k_scales[nonempty]):
+            rows = np.flatnonzero((lengths > 0) & (k_scales == scale))
+            max_len = int(lengths[rows].max())
+            k_int = np.clip(np.round(keys[:max_len] / scale), -127, 127).astype(np.int64)
+            key_norms = np.linalg.norm(k_int, axis=1)
+            score_scales = []
+            for i in rows:
+                k_norm = float(np.mean(key_norms[: lengths[i]]))
+                score_std = max(q_norms[i] * k_norm / np.sqrt(d), 1e-9)
+                score_scales.append(score_std_target / score_std)
+            config = BGPPConfig(
+                rounds=rounds,
+                radius=radius,
+                alpha=alpha,
+                key_bits=key_bits,
+                query_bits=query_bits,
+            )
+            results = bgpp_select_batch(
+                q_int[rows],
+                k_int,
+                config,
+                key_lengths=lengths[rows],
+                score_scales=score_scales,
+            )
+            for i, result in zip(rows, results):
+                out[int(i)] = result.selected
+        return out
+
+    predictor.select_ragged = select_ragged
     return predictor
 
 
 def make_value_topk_predictor(keep_fraction: float = 0.3, prediction_bits: int = 4):
-    """Build a value-level top-k key predictor (the conventional baseline)."""
+    """Build a value-level top-k key predictor (the conventional baseline).
+
+    Like :func:`make_bgpp_predictor`, the callable carries a
+    ``select_ragged`` attribute running a whole ragged query batch as one
+    masked score matmul plus per-row top-k, bit-exact against row-by-row
+    calls.
+    """
     if not 0.0 < keep_fraction <= 1.0:
         raise ValueError("keep_fraction must be in (0, 1]")
 
@@ -480,6 +585,39 @@ def make_value_topk_predictor(keep_fraction: float = 0.3, prediction_bits: int =
         k = max(1, int(round(keep_fraction * keys.shape[0])))
         return value_topk_select(q_int, k_int, k, prediction_bits=prediction_bits).selected
 
+    def select_ragged(
+        queries: np.ndarray, keys: np.ndarray, lengths: Sequence[int]
+    ) -> List[np.ndarray]:
+        """Ragged-batch top-k: one estimated-score matmul per key-scale group."""
+        queries = np.asarray(queries, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        n_rows = queries.shape[0]
+        out: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_rows)]
+        nonempty = np.flatnonzero(lengths > 0)
+        if nonempty.size == 0:
+            return out
+        q_scales = np.maximum(np.abs(queries).max(axis=1), 1e-12) / 127.0
+        q_int = np.clip(np.round(queries / q_scales[:, None]), -127, 127).astype(np.int64)
+        reduced_q = _reduced_precision_query(q_int, prediction_bits, full_bits=8)
+        key_cummax = np.maximum.accumulate(np.abs(keys).max(axis=1))
+        k_scales = np.zeros(n_rows)
+        k_scales[nonempty] = np.maximum(key_cummax[lengths[nonempty] - 1], 1e-12) / 127.0
+        shift = 8 - prediction_bits
+        for scale in np.unique(k_scales[nonempty]):
+            rows = np.flatnonzero((lengths > 0) & (k_scales == scale))
+            max_len = int(lengths[rows].max())
+            k_int = np.clip(np.round(keys[:max_len] / scale), -127, 127).astype(np.int64)
+            reduced_keys = (k_int >> shift) << shift if shift > 0 else k_int
+            scores = reduced_keys @ reduced_q[rows].T  # (max_len, n_rows_in_group)
+            for j, i in enumerate(rows):
+                length = int(lengths[i])
+                k = min(max(1, int(round(keep_fraction * length))), length)
+                order = np.argsort(scores[:length, j])[::-1]
+                out[int(i)] = np.sort(order[:k])
+        return out
+
+    predictor.select_ragged = select_ragged
     return predictor
 
 

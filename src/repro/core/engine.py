@@ -143,6 +143,8 @@ class MCBPEngine:
         self.stats = EngineStats(weight_bits=weight_bits)
         self._layers: Dict[str, MCBPLayer] = {}
         self._plane_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        # float64 views of cached decoded planes for matmul()'s BLAS product
+        self._plane_cache_f64: Dict[str, np.ndarray] = {}
 
     @property
     def weight_bits(self) -> int:
@@ -162,6 +164,7 @@ class MCBPEngine:
         )
         self._layers[name] = layer
         self._plane_cache.pop(name, None)  # re-registering invalidates the cache
+        self._plane_cache_f64.pop(name, None)
         return layer
 
     def layer_names(self) -> List[str]:
@@ -191,7 +194,8 @@ class MCBPEngine:
         if self.plane_cache_entries > 0:
             self._plane_cache[name] = weight_q
             while len(self._plane_cache) > self.plane_cache_entries:
-                self._plane_cache.popitem(last=False)
+                evicted, _ = self._plane_cache.popitem(last=False)
+                self._plane_cache_f64.pop(evicted, None)
         return weight_q
 
     def cache_contents(self) -> List[str]:
@@ -200,6 +204,7 @@ class MCBPEngine:
 
     def clear_plane_cache(self) -> None:
         self._plane_cache.clear()
+        self._plane_cache_f64.clear()
 
     # -- execution -------------------------------------------------------------
 
@@ -222,6 +227,45 @@ class MCBPEngine:
         self.stats.gemm_calls += 1
         self.stats.dense_macs += layer.weight_shape[0] * layer.weight_shape[1] * n_cols
         self.stats.brcr_additions += cost.total_additions
+        return outputs
+
+    def matmul(self, name: str, activations_q: np.ndarray) -> np.ndarray:
+        """Serving fast path: cached decoded planes + one NumPy integer matmul.
+
+        Bit-identical to :meth:`gemm` (the BRCR bit-serial path is pinned
+        exact against the dense product by the property suite) but skips the
+        bit-serial emulation, so one scheduler step over a ``(H, B)`` batch
+        pays at most one BSTC decode per layer (on a plane-cache miss) plus a
+        single ``(M, K) @ (K, B)`` product for the whole active batch.
+        ``gemm_calls``/``dense_macs`` and the cache/weight-traffic counters
+        accumulate as usual; ``brcr_additions`` does not move because no
+        bit-serial execution ran.
+        """
+        if name not in self._layers:
+            raise KeyError(f"layer {name!r} was never registered")
+        layer = self._layers[name]
+        weight_q = self._decoded_weight(name)
+        acts = np.asarray(activations_q, dtype=np.int64)
+        # BLAS float64 product: every partial sum is an integer bounded by
+        # K * max|W| * max|X|, exact in float64 as long as it stays below
+        # 2**53; fall back to the integer loops for pathological magnitudes.
+        bound = (
+            weight_q.shape[1]
+            * float(1 << max(self.weight_bits - 1, 1))
+            * float(np.abs(acts).max() if acts.size else 0)
+        )
+        if bound < 2**53:
+            weight_f = self._plane_cache_f64.get(name)
+            if weight_f is None:
+                weight_f = weight_q.astype(np.float64)
+                if name in self._plane_cache:
+                    self._plane_cache_f64[name] = weight_f
+            outputs = (weight_f @ acts.astype(np.float64)).astype(np.int64)
+        else:
+            outputs = weight_q.astype(np.int64) @ acts
+        n_cols = 1 if acts.ndim == 1 else acts.shape[1]
+        self.stats.gemm_calls += 1
+        self.stats.dense_macs += layer.weight_shape[0] * layer.weight_shape[1] * n_cols
         return outputs
 
     def select_keys(

@@ -1,6 +1,13 @@
 """Decoder-only transformer substrate (configs, layers, attention, generation)."""
 
-from .attention import AttentionOutput, KVCache, MultiHeadAttention, causal_mask
+from .attention import (
+    AttentionOutput,
+    BatchedAttentionOutput,
+    KVCache,
+    MultiHeadAttention,
+    causal_mask,
+    ragged_selection_mask,
+)
 from .config import MODEL_CONFIGS, ModelConfig, get_model_config, scaled_down_config
 from .generation import (
     GenerationResult,
@@ -33,7 +40,9 @@ __all__ = [
     "KVCache",
     "MultiHeadAttention",
     "AttentionOutput",
+    "BatchedAttentionOutput",
     "causal_mask",
+    "ragged_selection_mask",
     "DecoderLayer",
     "TransformerModel",
     "QuantizedTransformer",

@@ -9,16 +9,26 @@ attention, value-level top-k and bit-grained progressive prediction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from .layers import Linear, softmax
 
-__all__ = ["KVCache", "AttentionOutput", "MultiHeadAttention", "causal_mask"]
+__all__ = [
+    "KVCache",
+    "AttentionOutput",
+    "BatchedAttentionOutput",
+    "MultiHeadAttention",
+    "causal_mask",
+    "ragged_selection_mask",
+]
 
-# A predictor maps (query_row, keys) -> selected key indices.
+# A predictor maps (query_row, keys) -> selected key indices.  Predictors may
+# additionally expose a ``select_ragged(queries, keys, lengths)`` attribute
+# (see repro.core.bgpp.make_bgpp_predictor) that runs a whole ragged query
+# batch in one pass; ragged_selection_mask() uses it when present.
 KeyPredictor = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
@@ -30,30 +40,105 @@ def causal_mask(n_queries: int, n_keys: int) -> np.ndarray:
     return k_idx <= (q_idx + offset)
 
 
-@dataclass
-class KVCache:
-    """Per-layer key/value cache for autoregressive decoding."""
+def ragged_selection_mask(
+    predictor: KeyPredictor,
+    q_rows: np.ndarray,
+    keys: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Boolean ``(n_queries, n_keys)`` predictor-selection mask under ``mask``.
 
-    keys: Optional[np.ndarray] = None  # (seq, hidden)
-    values: Optional[np.ndarray] = None  # (seq, hidden)
+    Each query row may only attend where ``mask`` is True; the predictor
+    ranks that row's allowed keys and at least one key (the most recent
+    allowed one) is always kept.  Causal masks are prefix-shaped, so when the
+    predictor exposes ``select_ragged`` the whole batch runs as one masked
+    pass instead of ``n_queries`` separate predictor calls; the fallback loop
+    is bit-identical.
+    """
+    n_queries, n_keys = mask.shape
+    selection = np.zeros((n_queries, n_keys), dtype=bool)
+    lengths = mask.sum(axis=1)
+    select_ragged = getattr(predictor, "select_ragged", None)
+    # the batched entry point assumes each row attends a key prefix
+    prefix_shaped = bool(
+        (mask == (np.arange(n_keys)[None, :] < lengths[:, None])).all()
+    )
+    if select_ragged is not None and prefix_shaped:
+        for i, selected in enumerate(select_ragged(q_rows, keys, lengths)):
+            if lengths[i] == 0:
+                continue
+            selected = np.asarray(selected, dtype=np.int64)
+            selected = selected[selected < lengths[i]]
+            if selected.size == 0:
+                selected = np.array([lengths[i] - 1], dtype=np.int64)
+            selection[i, selected] = True
+        return selection
+    for i in range(n_queries):
+        allowed = np.flatnonzero(mask[i])
+        selected = np.asarray(predictor(q_rows[i], keys[allowed]), dtype=np.int64)
+        selected = allowed[selected[selected < allowed.size]]
+        if selected.size == 0:
+            selected = allowed[-1:]
+        selection[i, selected] = True
+    return selection
+
+
+class KVCache:
+    """Per-layer key/value cache for autoregressive decoding.
+
+    Rows live in capacity-doubling buffers so each decode step appends in
+    amortised O(1) instead of re-copying the whole history (the seed
+    implementation vstacked O(seq) per token).  :attr:`keys` /
+    :attr:`values` expose the live ``(seq, hidden)`` prefix as views; they
+    stay valid until the next append.
+    """
+
+    def __init__(
+        self,
+        keys: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        self._keys: Optional[np.ndarray] = None  # (capacity, hidden)
+        self._values: Optional[np.ndarray] = None
+        self._len = 0
+        if (keys is None) != (values is None):
+            raise ValueError("keys and values must be provided together")
+        if keys is not None:
+            self.append(keys, values)
+
+    @property
+    def keys(self) -> Optional[np.ndarray]:
+        return None if self._len == 0 else self._keys[: self._len]
+
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        return None if self._len == 0 else self._values[: self._len]
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
         keys = np.atleast_2d(np.asarray(keys, dtype=np.float64))
         values = np.atleast_2d(np.asarray(values, dtype=np.float64))
-        if self.keys is None:
-            self.keys = keys.copy()
-            self.values = values.copy()
-        else:
-            self.keys = np.vstack([self.keys, keys])
-            self.values = np.vstack([self.values, values])
+        n_new = keys.shape[0]
+        needed = self._len + n_new
+        if self._keys is None or needed > self._keys.shape[0]:
+            capacity = max(needed, 2 * (0 if self._keys is None else self._keys.shape[0]), 16)
+            grown_k = np.empty((capacity, keys.shape[1]), dtype=np.float64)
+            grown_v = np.empty((capacity, values.shape[1]), dtype=np.float64)
+            if self._len:
+                grown_k[: self._len] = self._keys[: self._len]
+                grown_v[: self._len] = self._values[: self._len]
+            self._keys, self._values = grown_k, grown_v
+        self._keys[self._len : needed] = keys
+        self._values[self._len : needed] = values
+        self._len = needed
 
     @property
     def seq_len(self) -> int:
-        return 0 if self.keys is None else int(self.keys.shape[0])
+        return self._len
 
     def clear(self) -> None:
-        self.keys = None
-        self.values = None
+        self._keys = None
+        self._values = None
+        self._len = 0
 
 
 @dataclass
@@ -64,6 +149,20 @@ class AttentionOutput:
     keys_attended: int
     keys_total: int
     selected_fraction: float
+
+
+@dataclass
+class BatchedAttentionOutput:
+    """Result of one fused decode step over ``B`` independent streams.
+
+    ``output`` is the merged-head context ``(B, hidden)`` *before* the output
+    projection; ``keys_attended`` / ``keys_total`` carry one entry per stream
+    so callers can split the batched step back into per-request statistics.
+    """
+
+    output: np.ndarray
+    keys_attended: np.ndarray  # (B,) ints
+    keys_total: np.ndarray  # (B,) ints
 
 
 class MultiHeadAttention:
@@ -167,18 +266,9 @@ class MultiHeadAttention:
 
         selection_mask = np.ones((n_queries, n_keys), dtype=bool)
         if predictor is not None:
-            selection_mask = np.zeros((n_queries, n_keys), dtype=bool)
             # Predictors operate on the full (head-concatenated) Q/K rows, the
             # same granularity the BGPP unit sees (it processes Q x K^T per row).
-            for i in range(n_queries):
-                allowed = np.flatnonzero(mask[i])
-                selected = np.asarray(
-                    predictor(q[i], k_all[allowed]), dtype=np.int64
-                )
-                selected = allowed[selected[selected < allowed.size]]
-                if selected.size == 0:
-                    selected = allowed[-1:]
-                selection_mask[i, selected] = True
+            selection_mask = ragged_selection_mask(predictor, q, k_all, mask)
         full_mask = mask & selection_mask
 
         scale = 1.0 / np.sqrt(self.head_dim)
@@ -196,4 +286,92 @@ class MultiHeadAttention:
             keys_attended=keys_attended,
             keys_total=keys_total,
             selected_fraction=keys_attended / keys_total if keys_total else 1.0,
+        )
+
+    # -- fused batched decode -------------------------------------------------
+
+    def decode_batch(
+        self,
+        q: np.ndarray,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        caches: List[KVCache],
+        predictor: Optional[KeyPredictor] = None,
+    ) -> BatchedAttentionOutput:
+        """One decode step for ``B`` independent streams on pre-projected Q/K/V.
+
+        ``q``/``k_new``/``v_new`` hold one new token per stream, stacked to
+        ``(B, hidden)``; ``caches[b]`` is stream ``b``'s own KV cache (ragged
+        context lengths).  The new K/V rows are appended per stream, the
+        cached keys/values are stacked into padded ``(B, max_len, hidden)``
+        tensors under a validity mask, and the score and context contractions
+        each run as one einsum over the whole batch.  The softmax runs on each
+        stream's valid slice so every row is bit-identical to stepping that
+        stream alone through :meth:`__call__`'s decode path (padding
+        positions carry exactly-zero probability and cannot perturb the
+        contraction).
+
+        Returns the merged-head context *before* the ``wo`` projection --
+        quantised execution applies its own calibrated output projection --
+        together with per-stream attended/total key counts.
+        """
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        k_new = np.atleast_2d(np.asarray(k_new, dtype=np.float64))
+        v_new = np.atleast_2d(np.asarray(v_new, dtype=np.float64))
+        n_streams = q.shape[0]
+        if len(caches) != n_streams:
+            raise ValueError(
+                f"expected {n_streams} caches, got {len(caches)}"
+            )
+        for b in range(n_streams):
+            caches[b].append(k_new[b], v_new[b])
+        lengths = np.array([cache.seq_len for cache in caches], dtype=np.int64)
+        max_len = int(lengths.max())
+
+        keys = np.zeros((n_streams, max_len, self.hidden_size))
+        values = np.zeros((n_streams, max_len, self.hidden_size))
+        for b, cache in enumerate(caches):
+            keys[b, : lengths[b]] = cache.keys
+            values[b, : lengths[b]] = cache.values
+        valid = np.arange(max_len)[None, :] < lengths[:, None]
+
+        full_mask = valid
+        if predictor is not None:
+            # each stream has its own key set, so selection is inherently
+            # per-stream; the same predictor calls the sequential path makes
+            selection = np.zeros_like(valid)
+            for b, cache in enumerate(caches):
+                selected = np.asarray(predictor(q[b], cache.keys), dtype=np.int64)
+                selected = selected[selected < lengths[b]]
+                if selected.size == 0:
+                    selected = np.array([lengths[b] - 1], dtype=np.int64)
+                selection[b, selected] = True
+            full_mask = valid & selection
+
+        qh = q.reshape(n_streams, self.n_heads, self.head_dim)
+        kh = keys.reshape(n_streams, max_len, self.n_heads, self.head_dim)
+        kh = kh.transpose(0, 2, 1, 3)
+        vh = values.reshape(n_streams, max_len, self.n_heads, self.head_dim)
+        vh = vh.transpose(0, 2, 1, 3)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        logits = np.einsum("bhd,bhkd->bhk", qh, kh) * scale
+        logits = np.where(full_mask[:, None, :], logits, -np.inf)
+        # softmax reductions must run over each stream's true context length
+        # to stay bit-identical to the sequential path; with uniform lengths
+        # there is no padding, so one batched call suffices
+        if int(lengths.min()) == max_len:
+            probs = softmax(logits, axis=-1)
+        else:
+            probs = np.zeros_like(logits)
+            for b in range(n_streams):
+                probs[b, :, : lengths[b]] = softmax(
+                    logits[b, :, : lengths[b]], axis=-1
+                )
+        context = np.einsum("bhk,bhkd->bhd", probs, vh)
+        merged = context.reshape(n_streams, self.hidden_size)
+        return BatchedAttentionOutput(
+            output=merged,
+            keys_attended=full_mask.sum(axis=1).astype(np.int64),
+            keys_total=lengths,
         )

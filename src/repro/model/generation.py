@@ -108,6 +108,50 @@ class IncrementalDecoder:
         self.last_logits = logits
         return greedy_sample(logits)
 
+    @staticmethod
+    def step_batch(
+        decoders: Sequence["IncrementalDecoder"], tokens: Sequence[int]
+    ) -> List[int]:
+        """Advance many decoders one token each through a single fused forward.
+
+        When every decoder shares one model exposing ``forward_batch`` (and
+        one predictor), the whole batch runs as **one** quantised forward
+        pass; each decoder's statistics, logits and sampled token are
+        bit-identical to calling :meth:`step` on it alone.  Models without a
+        fused path (or heterogeneous decoder sets) fall back to per-decoder
+        stepping, so callers can use this unconditionally.
+        """
+        decoders = list(decoders)
+        tokens = [int(t) for t in tokens]
+        if len(tokens) != len(decoders):
+            raise ValueError(
+                f"got {len(tokens)} tokens for {len(decoders)} decoders"
+            )
+        if not decoders:
+            return []
+        for decoder in decoders:
+            if decoder.prefill_stats is None:
+                raise RuntimeError("prefill() must run before step_batch()")
+        model = decoders[0].model
+        predictor = decoders[0].predictor
+        fused = getattr(model, "forward_batch", None)
+        homogeneous = all(
+            d.model is model and d.predictor is predictor for d in decoders
+        )
+        # a batch of one gains nothing from padding/stacking: plain stepping
+        # is the same computation without the batch bookkeeping
+        if fused is None or not homogeneous or len(decoders) == 1:
+            return [d.step(t) for d, t in zip(decoders, tokens)]
+        logits, stats_list = fused(
+            tokens, [d.caches for d in decoders], predictor=predictor
+        )
+        next_tokens: List[int] = []
+        for b, decoder in enumerate(decoders):
+            decoder.decode_stats.append(stats_list[b])
+            decoder.last_logits = logits[b : b + 1]
+            next_tokens.append(greedy_sample(logits[b]))
+        return next_tokens
+
     @property
     def keys_attended(self) -> int:
         total = self.prefill_stats.keys_attended if self.prefill_stats else 0

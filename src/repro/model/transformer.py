@@ -15,7 +15,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .attention import AttentionOutput, KVCache, MultiHeadAttention
+from .attention import (
+    AttentionOutput,
+    KVCache,
+    MultiHeadAttention,
+    causal_mask,
+    ragged_selection_mask,
+)
 from .config import ModelConfig
 from .layers import ACTIVATIONS, Embedding, Linear, layer_norm, rms_norm, softmax
 
@@ -145,6 +151,16 @@ class QuantizedTransformer:
     :class:`repro.quant.QuantizedLinear`; non-linear operators stay in float,
     matching the paper's deployment (GEMMs INT8, softmax/norm FP16).
     ``sparse_predictor`` plugs a top-k / BGPP key selector into attention.
+
+    Because every GEMM operand is an exact integer product, the model offers
+    a fused serving path: :meth:`forward_batch` advances ``B`` independent
+    decode streams through **one** forward pass (one GEMM per projection for
+    the whole batch, one batched attention per layer) with bit-identical
+    results to stepping each stream alone.  :meth:`bind_engine` additionally
+    routes every integer product through a shared
+    :class:`repro.core.engine.MCBPEngine`, so the BSTC-compressed weights are
+    decoded at most once per layer via the decoded-plane cache and the
+    engine's traffic counters account for the serving run.
     """
 
     def __init__(
@@ -162,6 +178,7 @@ class QuantizedTransformer:
         self.config = model.config
         self.weight_bits = weight_bits
         self.activation_bits = activation_bits
+        self.engine = None  # set by bind_engine()
         rng = np.random.default_rng(seed)
         if calibration_tokens is None:
             calibration_tokens = rng.integers(
@@ -214,6 +231,34 @@ class QuantizedTransformer:
         out["lm_head"] = self.lm_head.weight_q
         return out
 
+    def bind_engine(self, engine, prefix: str = "") -> None:
+        """Route every integer GEMM through a shared :class:`MCBPEngine`.
+
+        Registers each quantised weight matrix (BSTC-compressed) under
+        ``{prefix}layer{i}.{name}`` / ``{prefix}lm_head`` and makes
+        :meth:`forward` / :meth:`forward_batch` fetch their integer products
+        from :meth:`repro.core.engine.MCBPEngine.matmul`: the decoded-plane
+        LRU cache then pays at most one BSTC decode per matrix no matter how
+        many steps or co-resident streams reuse it, and the engine's
+        cache/traffic counters describe the serving run.  Outputs are
+        bit-identical to the unbound model (the decode round-trip is exact).
+        """
+        for name, weight_q in self.quantized_weight_matrices().items():
+            engine.register_weight(prefix + name, weight_q)
+        self.engine = engine
+        self._engine_prefix = prefix
+
+    def _qlin_forward(self, qlin, name: str, x: np.ndarray) -> np.ndarray:
+        """One quantised projection, routed through the bound engine if any."""
+        if self.engine is None:
+            out, _ = qlin.forward(x)
+        else:
+            full_name = self._engine_prefix + name
+            out, _ = qlin.forward(
+                x, product_fn=lambda xq: self.engine.matmul(full_name, xq)
+            )
+        return out
+
     def forward(
         self,
         token_ids: Sequence[int],
@@ -224,25 +269,79 @@ class QuantizedTransformer:
         token_ids = np.asarray(token_ids, dtype=np.int64)
         hidden = self.model.embedding(token_ids)
         stats = ForwardStats(tokens_processed=int(token_ids.size))
-        for layer, qentry in zip(self.model.layers, self.quant_layers):
+        for i, (layer, qentry) in enumerate(zip(self.model.layers, self.quant_layers)):
             normed = layer.norm_fn(hidden)
             attn_mod = layer.attention
-            q, _ = qentry["wq"].forward(normed)  # type: ignore[union-attr]
-            k, _ = qentry["wk"].forward(normed)  # type: ignore[union-attr]
-            v, _ = qentry["wv"].forward(normed)  # type: ignore[union-attr]
+            q = self._qlin_forward(qentry["wq"], f"layer{i}.wq", normed)
+            k = self._qlin_forward(qentry["wk"], f"layer{i}.wk", normed)
+            v = self._qlin_forward(qentry["wv"], f"layer{i}.wv", normed)
 
             attn_out = self._attention(attn_mod, q, k, v, caches, layer, predictor)
-            proj, _ = qentry["wo"].forward(attn_out.output)  # type: ignore[union-attr]
+            proj = self._qlin_forward(qentry["wo"], f"layer{i}.wo", attn_out.output)
             hidden = hidden + proj
             stats.merge(attn_out)
 
             normed2 = layer.norm_fn(hidden)
-            up, _ = qentry["ffn_up"].forward(normed2)  # type: ignore[union-attr]
+            up = self._qlin_forward(qentry["ffn_up"], f"layer{i}.ffn_up", normed2)
             act = layer.activation(up)
-            down, _ = qentry["ffn_down"].forward(act)  # type: ignore[union-attr]
+            down = self._qlin_forward(qentry["ffn_down"], f"layer{i}.ffn_down", act)
             hidden = hidden + down
         hidden = self.model.norm_fn(hidden)
-        logits, _ = self.lm_head.forward(hidden)
+        logits = self._qlin_forward(self.lm_head, "lm_head", hidden)
+        return logits, stats
+
+    def forward_batch(
+        self,
+        tokens: Sequence[int],
+        caches_list: Sequence[List[KVCache]],
+        predictor: Optional[KeyPredictor] = None,
+    ) -> Tuple[np.ndarray, List[ForwardStats]]:
+        """One fused decode step for ``B`` independent generation streams.
+
+        ``tokens[b]`` is stream ``b``'s newest accepted token and
+        ``caches_list[b]`` its per-layer KV caches.  The step stacks the
+        streams into a ``(B, hidden)`` activation matrix and runs **one**
+        quantised forward pass: each weight matrix is applied once to the
+        whole batch (one integer GEMM -- and, with a bound engine, at most
+        one BSTC decode -- per projection per step) and attention runs as one
+        ragged batched pass per layer over the per-stream caches.  Every GEMM
+        operand is an exact integer product and every float op is row-local,
+        so logits and per-stream statistics are bit-identical to stepping the
+        streams one at a time through :meth:`forward`.
+
+        Returns float logits ``(B, vocab)`` (one next-token row per stream)
+        and one :class:`ForwardStats` per stream.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        n_streams = int(tokens.size)
+        if len(caches_list) != n_streams:
+            raise ValueError(
+                f"expected {n_streams} cache lists, got {len(caches_list)}"
+            )
+        hidden = self.model.embedding(tokens)  # (B, hidden)
+        stats = [ForwardStats(tokens_processed=1) for _ in range(n_streams)]
+        for i, (layer, qentry) in enumerate(zip(self.model.layers, self.quant_layers)):
+            normed = layer.norm_fn(hidden)
+            q = self._qlin_forward(qentry["wq"], f"layer{i}.wq", normed)
+            k = self._qlin_forward(qentry["wk"], f"layer{i}.wk", normed)
+            v = self._qlin_forward(qentry["wv"], f"layer{i}.wv", normed)
+
+            attn = layer.attention.decode_batch(
+                q, k, v, [caches[i] for caches in caches_list], predictor
+            )
+            proj = self._qlin_forward(qentry["wo"], f"layer{i}.wo", attn.output)
+            hidden = hidden + proj
+            for b in range(n_streams):
+                stats[b].keys_attended += int(attn.keys_attended[b])
+                stats[b].keys_total += int(attn.keys_total[b])
+
+            normed2 = layer.norm_fn(hidden)
+            up = self._qlin_forward(qentry["ffn_up"], f"layer{i}.ffn_up", normed2)
+            act = layer.activation(up)
+            down = self._qlin_forward(qentry["ffn_down"], f"layer{i}.ffn_down", act)
+            hidden = hidden + down
+        hidden = self.model.norm_fn(hidden)
+        logits = self._qlin_forward(self.lm_head, "lm_head", hidden)
         return logits, stats
 
     def _attention(
@@ -256,8 +355,6 @@ class QuantizedTransformer:
         predictor: Optional[KeyPredictor],
     ) -> AttentionOutput:
         """Attention on pre-projected Q/K/V (projections already quantised)."""
-        from .attention import causal_mask
-
         layer_index = self.model.layers.index(layer)
         cache = caches[layer_index] if caches is not None else None
         if cache is not None:
@@ -274,17 +371,9 @@ class QuantizedTransformer:
 
         selection_mask = np.ones((n_queries, n_keys), dtype=bool)
         if predictor is not None:
-            selection_mask = np.zeros((n_queries, n_keys), dtype=bool)
-            for i in range(n_queries):
-                allowed = np.flatnonzero(mask[i])
-                selected = np.asarray(
-                    predictor(np.atleast_2d(q)[i], np.atleast_2d(k_all)[allowed]),
-                    dtype=np.int64,
-                )
-                selected = allowed[selected[selected < allowed.size]]
-                if selected.size == 0:
-                    selected = allowed[-1:]
-                selection_mask[i, selected] = True
+            selection_mask = ragged_selection_mask(
+                predictor, np.atleast_2d(q), np.atleast_2d(k_all), mask
+            )
         full_mask = mask & selection_mask
 
         scale = 1.0 / np.sqrt(attn_mod.head_dim)

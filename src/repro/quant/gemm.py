@@ -9,8 +9,8 @@ BRCR so that callers can verify exact equivalence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ def fold_scale_bias(
     weight_params: QuantParams,
     activation_params: QuantParams,
     weight_q: np.ndarray,
+    row_sums: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Fold quantisation parameters into an output scale and bias.
 
@@ -34,11 +35,15 @@ def fold_scale_bias(
 
     so ``scale[c] = Delta_w[c] * Delta_x`` (per output channel) and
     ``bias[c] = -scale[c] * Z_x * sum_j W_q[c, j]``.
+
+    ``row_sums`` may supply precomputed ``W_q.sum(axis=1)`` (the weights are
+    static, so serving paths fold them once instead of per call).
     """
     w_scale = np.asarray(weight_params.scale, dtype=np.float64).reshape(-1)
     x_scale = float(np.asarray(activation_params.scale))
     x_zero = float(np.asarray(activation_params.zero_point))
-    row_sums = np.asarray(weight_q, dtype=np.float64).sum(axis=1)
+    if row_sums is None:
+        row_sums = np.asarray(weight_q, dtype=np.float64).sum(axis=1)
     scale = w_scale * x_scale
     bias = -scale * x_zero * row_sums
     return scale, bias
@@ -51,6 +56,8 @@ def quantized_matmul(
     activation_params: QuantParams,
     use_brcr: bool = False,
     brcr_config: Optional[BRCRConfig] = None,
+    product_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    folded: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> Tuple[np.ndarray, Optional[BRCRCost]]:
     """Compute the dequantised output of ``W_q @ X_q`` with folded scale/bias.
 
@@ -62,6 +69,15 @@ def quantized_matmul(
     use_brcr:
         Route the integer product through :func:`repro.core.brcr.brcr_gemm`
         (bit-exact, but slower in Python) and return its cost counters.
+    product_fn:
+        Alternative provider of the integer product ``W_q @ X_q`` given the
+        quantised activations -- used to route execution through a shared
+        :class:`repro.core.engine.MCBPEngine` so its decoded-plane cache and
+        traffic counters account for the call.  Must return exactly the dense
+        integer product; mutually exclusive with ``use_brcr``.
+    folded:
+        Precomputed :func:`fold_scale_bias` pair; the parameters and weights
+        are static, so hot serving paths fold once and reuse.
 
     Returns
     -------
@@ -72,12 +88,21 @@ def quantized_matmul(
     weight_q = np.asarray(weight_q, dtype=np.int64)
     activation_q = np.asarray(activation_q, dtype=np.int64)
     cost: Optional[BRCRCost] = None
+    if use_brcr and product_fn is not None:
+        raise ValueError("use_brcr and product_fn are mutually exclusive")
     if use_brcr:
         product, cost = brcr_gemm(weight_q, activation_q, config=brcr_config)
+    elif product_fn is not None:
+        # must equal the dense integer product exactly; an integer-valued
+        # float64 array qualifies (scale/bias application is dtype-agnostic)
+        product = np.asarray(product_fn(activation_q))
     else:
         product = weight_q @ activation_q
 
-    scale, bias = fold_scale_bias(weight_params, activation_params, weight_q)
+    if folded is None:
+        scale, bias = fold_scale_bias(weight_params, activation_params, weight_q)
+    else:
+        scale, bias = folded
     if product.ndim == 1:
         output = scale * product + bias
     else:
@@ -99,6 +124,46 @@ class QuantizedLinear:
     weight_params: QuantParams
     activation_params: QuantParams
     bias: Optional[np.ndarray] = None
+    # lazily cached fold_scale_bias() pair -- the operands are static
+    _folded: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    # lazily cached float64 view of weight_q for the exact BLAS product
+    _weight_f64: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def folded_scale_bias(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The layer's :func:`fold_scale_bias` pair, computed once."""
+        if self._folded is None:
+            self._folded = fold_scale_bias(
+                self.weight_params, self.activation_params, self.weight_q
+            )
+        return self._folded
+
+    def weight_f64(self) -> np.ndarray:
+        """``weight_q`` as float64, cached for the exact BLAS integer product."""
+        if self._weight_f64 is None:
+            self._weight_f64 = np.asarray(self.weight_q, dtype=np.float64)
+        return self._weight_f64
+
+    def blas_product_is_exact(self) -> bool:
+        """Whether the float64 BLAS product of this layer is provably exact.
+
+        Every partial sum of ``W_q @ X_q`` is an integer bounded by
+        ``K * 2**(w_bits-1) * 2**(x_bits-1)``; while that stays below
+        ``2**53`` (true for every realistic layer), float64 accumulation is
+        exact in any order and the BLAS GEMM returns the dense integer
+        product bit-exactly while running an order of magnitude faster than
+        NumPy's int64 loops.  Exotic precisions that could overflow the
+        mantissa keep the integer path.
+        """
+        bound = (
+            float(self.in_features)
+            * float(1 << max(self.weight_params.bits - 1, 1))
+            * float(1 << max(self.activation_params.bits - 1, 1))
+        )
+        return bound < 2**53
 
     @property
     def out_features(self) -> int:
@@ -122,12 +187,20 @@ class QuantizedLinear:
         x: np.ndarray,
         use_brcr: bool = False,
         brcr_config: Optional[BRCRConfig] = None,
+        product_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> Tuple[np.ndarray, Optional[BRCRCost]]:
-        """Apply the layer to float activations ``x`` of shape ``(..., in_features)``."""
+        """Apply the layer to float activations ``x`` of shape ``(..., in_features)``.
+
+        ``product_fn`` (see :func:`quantized_matmul`) lets an engine supply
+        the integer product from its decoded-plane cache.
+        """
         x = np.asarray(x, dtype=np.float64)
         lead_shape = x.shape[:-1]
         flat = x.reshape(-1, self.in_features)
         xq = self.quantize_input(flat).T  # (K, N)
+        if product_fn is None and not use_brcr and self.blas_product_is_exact():
+            weight_f = self.weight_f64()
+            product_fn = lambda xq_int: weight_f @ xq_int.astype(np.float64)
         out, cost = quantized_matmul(
             self.weight_q,
             xq,
@@ -135,6 +208,8 @@ class QuantizedLinear:
             self.activation_params,
             use_brcr=use_brcr,
             brcr_config=brcr_config,
+            product_fn=product_fn,
+            folded=self.folded_scale_bias(),
         )
         out = out.T.reshape(*lead_shape, self.out_features)
         if self.bias is not None:

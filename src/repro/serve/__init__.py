@@ -10,11 +10,16 @@ multi-tenant serving simulator:
   steps and retires many sessions against one shared model, reporting
   per-request latency and aggregate throughput.
 
-The serving-side payoff of the paper's compression stack comes from the
-engine's decoded-plane LRU cache (:class:`repro.core.engine.MCBPEngine`):
-with many co-resident sessions the BSTC decode of each layer is paid once per
-engine step rather than once per request, just as a compressed tile set is
-decoded once and reused across a large reconstruction.
+Decoding is *fused*: each engine step stacks the active sessions' tokens
+into one ``(B, hidden)`` batch and models exposing ``forward_batch`` (the
+quantised transformer) run a single forward pass for the whole batch --
+one GEMM per weight matrix and one ragged batched attention per layer --
+with bit-identical tokens and statistics to per-session stepping.  Combined
+with the engine's decoded-plane LRU cache
+(:class:`repro.core.engine.MCBPEngine`), each layer's BSTC decode *and* its
+GEMM launch are paid once per engine step rather than once per request, just
+as a compressed tile set is decoded once and reused across a large
+reconstruction.
 """
 
 from .scheduler import ContinuousBatchingScheduler, RequestMetrics, ServingReport

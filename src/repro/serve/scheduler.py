@@ -5,25 +5,33 @@ The scheduler advances simulated time in *engine steps*.  Each step it
 1. admits arrived requests, earliest arrival first (submission order breaks
    ties), until the active set holds ``max_active`` sessions -- an admission
    runs the request's prefill and emits its first token;
-2. runs one decode step for every other active session, so a step emits up to
-   ``max_active`` tokens;
+2. advances every other active session by one token through a **single fused
+   decode pass**: the sessions' current tokens are stacked into a
+   ``(B, hidden)`` batch and models exposing ``forward_batch`` (e.g.
+   :class:`~repro.model.transformer.QuantizedTransformer`) run one quantised
+   forward per step for the whole batch -- one GEMM per weight matrix and one
+   ragged batched attention per layer -- instead of ``B`` separate
+   ``model.forward`` calls.  Models without a fused path fall back to
+   per-session stepping with identical results;
 3. retires finished sessions, freeing their slots for the next step.
 
-Because every session shares one model -- and, when the model executes
-through :class:`repro.core.engine.MCBPEngine`, one decoded-plane cache --
-the per-layer BSTC decode cost is paid once per step instead of once per
-request, which is the serving-side analogue of BRCR/BSTC amortising work
-across a whole weight matrix.
+Because every session shares one model -- and, when the model is bound to an
+:class:`repro.core.engine.MCBPEngine`, one decoded-plane cache -- each
+layer's BSTC decode *and* its GEMM launch are paid once per step instead of
+once per session, which is the serving-side analogue of BRCR/BSTC amortising
+bit-level work across a whole weight matrix.
 
 The result of a run is a :class:`ServingReport` with per-request queueing
 delay, time-to-first-token, end-to-end latency and attention-traffic volume,
-plus aggregate throughput.
+plus aggregate throughput; :meth:`ServingReport.to_json` /
+:meth:`ServingReport.from_json` round-trip the report through the JSON
+format shared with the serving benchmarks.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -67,6 +75,40 @@ class ServingReport:
             return 0.0
         return float(np.mean([r.queue_delay_steps for r in self.requests]))
 
+    def to_json(self) -> dict:
+        """JSON-serialisable dict: stored fields plus derived aggregates.
+
+        The same schema is emitted by ``examples/serving_simulation.py
+        --json`` and embedded in ``BENCH_serving.json`` by the serving
+        benchmark, so every serving artefact shares one report format.
+        Derived aggregates are included for human consumption;
+        :meth:`from_json` ignores them and recomputes from the stored fields.
+        """
+        return {
+            "steps": self.steps,
+            "max_concurrency": self.max_concurrency,
+            "total_tokens": self.total_tokens,
+            "throughput_tokens_per_step": self.throughput_tokens_per_step,
+            "mean_latency_steps": self.mean_latency_steps,
+            "p95_latency_steps": self.latency_percentile(95),
+            "mean_queue_delay_steps": self.mean_queue_delay_steps,
+            "requests": [asdict(r) for r in self.requests],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ServingReport":
+        """Rebuild a report from :meth:`to_json` output (derived keys ignored)."""
+        stored = {f for f in RequestMetrics.__dataclass_fields__}
+        requests = [
+            RequestMetrics(**{k: v for k, v in entry.items() if k in stored})
+            for entry in payload["requests"]
+        ]
+        return cls(
+            steps=int(payload["steps"]),
+            max_concurrency=int(payload["max_concurrency"]),
+            requests=requests,
+        )
+
     def summary(self) -> str:
         """Human-readable per-request table plus aggregate lines."""
         lines = [
@@ -102,6 +144,11 @@ class ContinuousBatchingScheduler:
         Maximum number of concurrently decoding sessions (batch slots).
     predictor:
         Optional BGPP/top-k key predictor shared by all sessions.
+    fused:
+        Step all decoding sessions through one batched forward pass per
+        engine step (the default).  Models without ``forward_batch`` fall
+        back to per-session stepping automatically; ``fused=False`` forces
+        the per-session loop, which the benchmarks use as the baseline.
     """
 
     def __init__(
@@ -109,12 +156,14 @@ class ContinuousBatchingScheduler:
         model,
         max_active: int = 8,
         predictor: Optional[KeyPredictor] = None,
+        fused: bool = True,
     ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
         self.model = model
         self.max_active = max_active
         self.predictor = predictor
+        self.fused = fused
         self.current_step = 0
         # min-heap keyed by (arrival_step, submission index): earliest arrival
         # first, submission order on ties, O(log n) per admission
@@ -183,8 +232,12 @@ class ContinuousBatchingScheduler:
 
         for session in admitted:
             emitted[session.request.request_id] = session.admit(step)
-        for session in decoding:
-            emitted[session.request.request_id] = session.decode_step(step)
+        if decoding:
+            if self.fused:
+                emitted.update(GenerationSession.decode_step_batch(decoding, step))
+            else:
+                for session in decoding:
+                    emitted[session.request.request_id] = session.decode_step(step)
 
         for session in list(self._active):
             if session.is_finished:

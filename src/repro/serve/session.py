@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..model.generation import IncrementalDecoder, KeyPredictor
 
@@ -124,6 +124,37 @@ class GenerationSession:
             )
         self._pending_token = self.decoder.step(self.generated_tokens[-1])
         return self._commit(step)
+
+    @staticmethod
+    def decode_step_batch(
+        sessions: Sequence["GenerationSession"], step: int
+    ) -> Dict[str, int]:
+        """Emit one token from every active session via a single fused step.
+
+        All sessions advance through
+        :meth:`~repro.model.generation.IncrementalDecoder.step_batch` -- one
+        quantised forward pass for the whole batch when the shared model
+        supports it, a per-session fallback otherwise -- and each session
+        commits its token exactly as :meth:`decode_step` would, so tokens,
+        lifecycle timestamps and traffic counters are bit-identical to
+        stepping the sessions one at a time.
+        """
+        sessions = list(sessions)
+        for session in sessions:
+            if session.state is not SessionState.ACTIVE:
+                raise RuntimeError(
+                    f"session {session.request.request_id!r} is not active "
+                    f"({session.state.value})"
+                )
+        next_tokens = IncrementalDecoder.step_batch(
+            [session.decoder for session in sessions],
+            [session.generated_tokens[-1] for session in sessions],
+        )
+        emitted: Dict[str, int] = {}
+        for session, token in zip(sessions, next_tokens):
+            session._pending_token = token
+            emitted[session.request.request_id] = session._commit(step)
+        return emitted
 
     def _commit(self, step: int) -> int:
         token = int(self._pending_token)
