@@ -1,4 +1,4 @@
-"""Benchmark: fused batched decode vs the per-session decode loop.
+"""Benchmark: fused batched decode vs the per-session loop, arena vs stacking.
 
 For each batch size ``B`` in {1, 4, 8, 16} the same ``B`` prefilled decode
 streams advance ``N_STEPS`` tokens two ways:
@@ -11,9 +11,21 @@ streams advance ``N_STEPS`` tokens two ways:
   matrix's BSTC planes are decoded at most once per step (in steady state:
   once overall, via the decoded-plane cache).
 
-Tokens must be bit-identical, the fused path must not be slower at ``B = 8``
-(this is the CI gate), and the engine must report exactly one BSTC decode
-per weight matrix.  Results are written to ``BENCH_serving.json`` at the
+A second grid pits the fused path's two KV layouts against each other at
+long context (``ARENA_CONTEXT`` tokens, ``B`` in {8, 16}):
+
+* **re-stacking** -- standalone per-stream caches, each step copies every
+  stream's full history into a fresh padded tensor
+  (``MultiHeadAttention.stack_copy_bytes``);
+* **paged arena** -- one shared :class:`PagedKVArena`, each step refreshes
+  an incrementally maintained batch view with only the ``B`` new rows
+  (``ArenaStats.gather_bytes_copied``).
+
+CI gates: tokens bit-identical everywhere, fused >= per-session at
+``B = 8``, arena >= stacking at ``B = 8``, exactly one BSTC decode per
+weight matrix, and the arena must copy >= ``ARENA_BYTES_GATE``x fewer KV
+bytes per step at the long context (per-step copy traffic no longer scales
+with context length).  Results are written to ``BENCH_serving.json`` at the
 repo root -- including a full scheduler run in the ``ServingReport.to_json``
 schema shared with ``examples/serving_simulation.py --json`` -- so the
 serving-performance trajectory is tracked from this PR on.
@@ -28,16 +40,22 @@ import numpy as np
 from repro.core.engine import MCBPEngine
 from repro.model import QuantizedTransformer, TransformerModel, get_model_config
 from repro.model.generation import IncrementalDecoder
-from repro.serve import ContinuousBatchingScheduler
+from repro.serve import ContinuousBatchingScheduler, PagedKVArena
 from repro.workloads import sample_requests
 
 from .conftest import print_result
 
 BATCH_SIZES = (1, 4, 8, 16)
-GATED_BATCH = 8  # the CI gate compares the two paths at this batch size
+GATED_BATCH = 8  # the CI gates compare paths at this batch size
 N_STEPS = 24
 PROMPT_LEN = 12
 REPEATS = 3
+
+# long-context arena grid: prompt + decode steps add up to ARENA_CONTEXT
+ARENA_BATCHES = (8, 16)
+ARENA_CONTEXT = 512
+ARENA_STEPS = 16
+ARENA_BYTES_GATE = 5.0  # arena must copy >= 5x fewer KV bytes per step
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -47,14 +65,14 @@ def _build_model() -> QuantizedTransformer:
     return QuantizedTransformer(TransformerModel(config, seed=0), seed=1)
 
 
-def _prefilled_decoders(model, batch):
+def _prefilled_decoders(model, batch, prompt_len=PROMPT_LEN, arena=None):
     rng = np.random.default_rng(42)
     vocab = model.config.vocab_size
     decoders, tokens = [], []
     for _ in range(batch):
-        decoder = IncrementalDecoder(model)
+        decoder = IncrementalDecoder(model, arena=arena)
         tokens.append(
-            decoder.prefill(rng.integers(0, vocab, size=PROMPT_LEN).tolist())
+            decoder.prefill(rng.integers(0, vocab, size=prompt_len).tolist())
         )
         decoders.append(decoder)
     return decoders, tokens
@@ -75,6 +93,61 @@ def _decode_tokens_per_sec(model, batch, fused):
         best = min(best, time.perf_counter() - start)
         final_tokens = list(tokens)
     return batch * N_STEPS / best, final_tokens
+
+
+def _stack_copy_bytes(model) -> int:
+    return sum(layer.attention.stack_copy_bytes for layer in model.model.layers)
+
+
+def _reset_stack_copy_bytes(model) -> None:
+    for layer in model.model.layers:
+        layer.attention.stack_copy_bytes = 0
+
+
+def _arena_vs_stacking_row(model, batch):
+    """Fused decode at long context: paged arena vs per-stream re-stacking."""
+    config = model.config
+    prompt_len = ARENA_CONTEXT - ARENA_STEPS
+    row = {
+        "batch": batch,
+        "context_tokens": ARENA_CONTEXT,
+        "decode_steps": ARENA_STEPS,
+    }
+    final_tokens = {}
+    for mode in ("stacking", "arena"):
+        best = float("inf")
+        for _ in range(REPEATS):
+            arena = None
+            if mode == "arena":
+                arena = PagedKVArena(
+                    config.n_layers, config.hidden_size, page_size=32
+                )
+            decoders, tokens = _prefilled_decoders(
+                model, batch, prompt_len=prompt_len, arena=arena
+            )
+            # count only decode-step copy traffic, not the prefill
+            _reset_stack_copy_bytes(model)
+            gather_base = arena.stats.gather_bytes_copied if arena else 0
+            start = time.perf_counter()
+            for _ in range(ARENA_STEPS):
+                tokens = IncrementalDecoder.step_batch(decoders, tokens)
+            best = min(best, time.perf_counter() - start)
+            final_tokens[mode] = list(tokens)
+            copied = (
+                arena.stats.gather_bytes_copied - gather_base
+                if arena
+                else _stack_copy_bytes(model)
+            )
+        row[f"{mode}_tokens_per_sec"] = batch * ARENA_STEPS / best
+        row[f"{mode}_kv_bytes_per_step"] = copied / ARENA_STEPS
+    assert final_tokens["arena"] == final_tokens["stacking"], (
+        f"arena decode diverged from stacking at B={batch}"
+    )
+    row["speedup"] = row["arena_tokens_per_sec"] / row["stacking_tokens_per_sec"]
+    row["kv_bytes_ratio"] = (
+        row["stacking_kv_bytes_per_step"] / row["arena_kv_bytes_per_step"]
+    )
+    return row
 
 
 def test_batched_decode_throughput(benchmark):
@@ -115,6 +188,9 @@ def test_batched_decode_throughput(benchmark):
 
     benchmark.pedantic(fused_gated_batch, rounds=3, iterations=1)
 
+    # long-context KV layout grid: paged arena vs per-stream re-stacking
+    arena_rows = [_arena_vs_stacking_row(model, batch) for batch in ARENA_BATCHES]
+
     # shared-format serving report: one fused scheduler run over a sampled
     # request stream (the same schema serving_simulation.py --json emits)
     config = model.config
@@ -131,6 +207,7 @@ def test_batched_decode_throughput(benchmark):
         "model": config.name,
         "prompt_len": PROMPT_LEN,
         "results": rows,
+        "arena_vs_stacking": arena_rows,
         "bstc_decode_calls": int(engine.codec.decode_calls),
         "weight_matrices": n_matrices,
         "serving_report": report.to_json(),
@@ -138,6 +215,7 @@ def test_batched_decode_throughput(benchmark):
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     gated = next(r for r in rows if r["batch"] == GATED_BATCH)
+    gated_arena = next(r for r in arena_rows if r["batch"] == GATED_BATCH)
     print_result(
         "Fused batched decode -- tokens/sec vs per-session loop",
         "\n".join(
@@ -145,6 +223,16 @@ def test_batched_decode_throughput(benchmark):
             f"tok/s   fused {r['batched_tokens_per_sec']:9.1f} tok/s   "
             f"speedup {r['speedup']:5.2f}x"
             for r in rows
+        )
+        + "\n"
+        + "\n".join(
+            f"B={r['batch']:>2} ctx={r['context_tokens']}: "
+            f"stacking {r['stacking_kv_bytes_per_step'] / 1024.0:8.1f} KiB/step "
+            f"{r['stacking_tokens_per_sec']:7.1f} tok/s   "
+            f"arena {r['arena_kv_bytes_per_step'] / 1024.0:6.1f} KiB/step "
+            f"{r['arena_tokens_per_sec']:7.1f} tok/s   "
+            f"bytes {r['kv_bytes_ratio']:5.1f}x  speed {r['speedup']:4.2f}x"
+            for r in arena_rows
         )
         + f"\nBSTC decodes: {engine.codec.decode_calls} "
         f"(= {n_matrices} weight matrices)\nreport -> {BENCH_PATH.name}",
@@ -156,3 +244,15 @@ def test_batched_decode_throughput(benchmark):
         f"fused decode slower than per-session loop at B={GATED_BATCH}: "
         f"{gated['speedup']:.2f}x"
     )
+    # CI gate: the paged arena must not lose to re-stacking at B=8, and its
+    # per-step KV copy traffic must no longer scale with context length
+    assert gated_arena["speedup"] >= 1.0, (
+        f"arena decode slower than re-stacking at B={GATED_BATCH}: "
+        f"{gated_arena['speedup']:.2f}x"
+    )
+    for row in arena_rows:
+        assert row["kv_bytes_ratio"] >= ARENA_BYTES_GATE, (
+            f"arena copies too many KV bytes at B={row['batch']}: only "
+            f"{row['kv_bytes_ratio']:.1f}x below stacking "
+            f"(gate {ARENA_BYTES_GATE}x)"
+        )

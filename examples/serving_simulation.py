@@ -7,10 +7,12 @@ Demonstrates the batched serving layer end to end:
    continuous-batching scheduler with >= 8 concurrent sessions, printing
    per-request latency/traffic and aggregate throughput;
 2. run the same stream through a quantised model bound to an
-   :class:`MCBPEngine` with **fused batched decode**: every engine step is a
-   single quantised forward pass over the whole active batch, each layer's
-   BSTC planes are decoded exactly once, and the emitted tokens are
-   bit-identical to per-session stepping;
+   :class:`MCBPEngine` with **fused batched decode** over a shared
+   **paged KV arena**: every engine step is a single quantised forward pass
+   over the whole active batch, each layer's BSTC planes are decoded exactly
+   once, session KV lives as fixed-size pages in one pool (freed pages
+   recycle as requests finish), and the emitted tokens are bit-identical to
+   per-session stepping over standalone caches;
 3. run a steady-state decode loop through an :class:`MCBPEngine` with the
    decoded-plane LRU cache and show that every layer is BSTC-decoded exactly
    once, no matter how many decode steps (or co-resident sessions) reuse it;
@@ -78,16 +80,16 @@ def fused_decode_demo(n_requests: int = 16, max_active: int = 8) -> None:
         n_requests, vocab_size=config.vocab_size, mean_interarrival=0.5, seed=11
     )
 
-    def run(fused: bool):
+    def run(fused: bool, arena: bool):
         scheduler = ContinuousBatchingScheduler(
-            model, max_active=max_active, fused=fused
+            model, max_active=max_active, fused=fused, arena=arena
         )
         sessions = scheduler.submit_many(requests)
         report = scheduler.run()
         return report, sessions
 
-    fused_report, fused_sessions = run(fused=True)
-    seq_report, seq_sessions = run(fused=False)
+    fused_report, fused_sessions = run(fused=True, arena=True)
+    seq_report, seq_sessions = run(fused=False, arena=False)
     for a, b in zip(fused_sessions, seq_sessions):
         assert a.generated_tokens == b.generated_tokens, "fused decode must be bit-exact"
     n_matrices = len(model.quantized_weight_matrices())
@@ -96,17 +98,27 @@ def fused_decode_demo(n_requests: int = 16, max_active: int = 8) -> None:
     # the example stays byte-deterministic, so it reports step-based metrics;
     # wall-clock tokens/sec live in benchmarks/test_batched_decode_throughput.py
     forwards_per_step = fused_report.max_concurrency
+    arena_stats = fused_report.arena
     print(f"\n--- fused batched decode: {n_requests} quantised requests, "
-          f"{max_active} slots ---")
+          f"{max_active} slots, paged KV arena ---")
     print(f"tokens              : {fused_report.total_tokens} in "
           f"{fused_report.steps} steps "
           f"({fused_report.throughput_tokens_per_step:.2f} tok/step, "
-          f"bit-exact vs per-session stepping)")
+          f"bit-exact vs per-session stepping over standalone caches)")
     print(f"forward passes/step : 1 fused (vs up to {forwards_per_step} "
           f"per-session calls on the sequential path)")
     print(f"BSTC decodes        : {engine.codec.decode_calls} "
           f"(= {n_matrices} weight matrices, decoded once each; "
           f"plane-cache hit rate {engine.stats.cache_hit_rate:.1%})")
+    print(f"KV arena            : {arena_stats['page_size']}-token pages, "
+          f"peak {arena_stats['peak_pages_in_use']}/{arena_stats['n_pages']} "
+          f"pages, {arena_stats['page_faults']} faults, all "
+          f"{arena_stats['pages_freed']} freed at drain "
+          f"({arena_stats['pages_in_use']} still in use)")
+    print(f"gather traffic      : "
+          f"{arena_stats['gather_bytes_copied'] / 1024.0:.1f} KiB "
+          f"({arena_stats['gather_incremental']} incremental refreshes, "
+          f"{arena_stats['gather_rebuilds']} rebuilds)")
 
 
 def steady_state_cache_demo(n_layers: int = 6, decode_steps: int = 32) -> None:

@@ -86,18 +86,37 @@ def ragged_selection_mask(
 class KVCache:
     """Per-layer key/value cache for autoregressive decoding.
 
-    Rows live in capacity-doubling buffers so each decode step appends in
-    amortised O(1) instead of re-copying the whole history (the seed
-    implementation vstacked O(seq) per token).  :attr:`keys` /
-    :attr:`values` expose the live ``(seq, hidden)`` prefix as views; they
-    stay valid until the next append.
+    Two storage modes share one interface:
+
+    * **standalone** (the default): rows live in this cache's own
+      capacity-doubling buffers, so each decode step appends in amortised
+      O(1) instead of re-copying the whole history (the seed implementation
+      vstacked O(seq) per token).  :attr:`keys` / :attr:`values` expose the
+      live ``(seq, hidden)`` prefix as views; they stay valid until the next
+      append.
+    * **arena-backed**: constructed with ``arena``/``session_id``/``layer``
+      (see :class:`repro.serve.kv_arena.PagedKVArena`), the cache is a thin
+      handle -- appends write into the shared page pool and :attr:`keys` /
+      :attr:`values` materialise contiguous copies on demand.  The fused
+      batched attention path recognises arena-backed caches and reads the
+      pool through :meth:`~repro.serve.kv_arena.PagedKVArena.gather_batch`
+      instead, skipping the per-session materialisation entirely.
     """
 
     def __init__(
         self,
         keys: Optional[np.ndarray] = None,
         values: Optional[np.ndarray] = None,
+        *,
+        arena=None,
+        session_id: Optional[int] = None,
+        layer: Optional[int] = None,
     ) -> None:
+        self._arena = arena
+        self._session_id = session_id
+        self._layer = layer
+        if arena is not None and (session_id is None or layer is None):
+            raise ValueError("arena-backed caches need session_id and layer")
         self._keys: Optional[np.ndarray] = None  # (capacity, hidden)
         self._values: Optional[np.ndarray] = None
         self._len = 0
@@ -106,15 +125,55 @@ class KVCache:
         if keys is not None:
             self.append(keys, values)
 
+    # -- arena plumbing (None / unset on standalone caches) --------------------
+
+    @property
+    def arena(self):
+        """The backing :class:`PagedKVArena`, or ``None`` when standalone."""
+        return self._arena
+
+    @property
+    def arena_session(self) -> Optional[int]:
+        return self._session_id
+
+    @property
+    def arena_layer(self) -> Optional[int]:
+        return self._layer
+
+    def release(self) -> None:
+        """Free the backing storage (the whole arena session, or the buffers)."""
+        if self._arena is not None:
+            if self._arena.has_session(self._session_id):
+                self._arena.free(self._session_id)
+        else:
+            self.clear()
+
+    # -- storage ---------------------------------------------------------------
+
     @property
     def keys(self) -> Optional[np.ndarray]:
+        if self._arena is not None:
+            if self.seq_len == 0:  # covers released sessions too
+                return None
+            return self._arena.session_keys(self._session_id, self._layer)
         return None if self._len == 0 else self._keys[: self._len]
 
     @property
     def values(self) -> Optional[np.ndarray]:
+        if self._arena is not None:
+            if self.seq_len == 0:  # covers released sessions too
+                return None
+            return self._arena.session_values(self._session_id, self._layer)
         return None if self._len == 0 else self._values[: self._len]
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        if self._arena is not None:
+            if not self._arena.has_session(self._session_id):
+                raise RuntimeError(
+                    f"KV cache was released (arena session {self._session_id} freed)"
+                )
+            self._arena.append(self._session_id, self._layer, keys, values)
+            return
         keys = np.atleast_2d(np.asarray(keys, dtype=np.float64))
         values = np.atleast_2d(np.asarray(values, dtype=np.float64))
         n_new = keys.shape[0]
@@ -133,9 +192,17 @@ class KVCache:
 
     @property
     def seq_len(self) -> int:
+        if self._arena is not None:
+            if not self._arena.has_session(self._session_id):
+                return 0  # released: behave like a cleared standalone cache
+            return self._arena.seq_len(self._session_id, self._layer)
         return self._len
 
     def clear(self) -> None:
+        if self._arena is not None:
+            if self._arena.has_session(self._session_id):
+                self._arena.clear_layer(self._session_id, self._layer)
+            return
         self._keys = None
         self._values = None
         self._len = 0
@@ -197,6 +264,9 @@ class MultiHeadAttention:
         self.wk = wk or Linear.random(hidden_size, hidden_size, seed=base_seed + 2)
         self.wv = wv or Linear.random(hidden_size, hidden_size, seed=base_seed + 3)
         self.wo = wo or Linear.random(hidden_size, hidden_size, seed=base_seed + 4)
+        # KV bytes copied by decode_batch's per-session stacking fallback;
+        # the arena path's counterpart is ArenaStats.gather_bytes_copied
+        self.stack_copy_bytes = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -302,10 +372,15 @@ class MultiHeadAttention:
 
         ``q``/``k_new``/``v_new`` hold one new token per stream, stacked to
         ``(B, hidden)``; ``caches[b]`` is stream ``b``'s own KV cache (ragged
-        context lengths).  The new K/V rows are appended per stream, the
-        cached keys/values are stacked into padded ``(B, max_len, hidden)``
-        tensors under a validity mask, and the score and context contractions
-        each run as one einsum over the whole batch.  The softmax runs on each
+        context lengths).  The new K/V rows are appended per stream and the
+        cached keys/values materialise as padded ``(B, max_len, hidden)``
+        tensors under a validity mask: when every cache is a handle onto one
+        shared :class:`~repro.serve.kv_arena.PagedKVArena`, that tensor is an
+        incrementally maintained view whose per-step refresh copies only the
+        ``B`` new rows; otherwise each stream's cache is stacked into a fresh
+        tensor (copy bytes tallied in :attr:`stack_copy_bytes`).  The score
+        and context contractions each run as one einsum over the whole
+        batch.  The softmax runs on each
         stream's valid slice so every row is bit-identical to stepping that
         stream alone through :meth:`__call__`'s decode path (padding
         positions carry exactly-zero probability and cannot perturb the
@@ -328,20 +403,34 @@ class MultiHeadAttention:
         lengths = np.array([cache.seq_len for cache in caches], dtype=np.int64)
         max_len = int(lengths.max())
 
-        keys = np.zeros((n_streams, max_len, self.hidden_size))
-        values = np.zeros((n_streams, max_len, self.hidden_size))
-        for b, cache in enumerate(caches):
-            keys[b, : lengths[b]] = cache.keys
-            values[b, : lengths[b]] = cache.values
+        arena = caches[0].arena
+        layer = caches[0].arena_layer
+        if arena is not None and all(
+            c.arena is arena and c.arena_layer == layer for c in caches
+        ):
+            # zero-copy batched read: the arena's per-layer gather cache is
+            # refreshed with only the newly appended rows (O(B) per step)
+            keys, values, _ = arena.gather_batch(
+                layer, [c.arena_session for c in caches]
+            )
+        else:
+            keys = np.zeros((n_streams, max_len, self.hidden_size))
+            values = np.zeros((n_streams, max_len, self.hidden_size))
+            for b, cache in enumerate(caches):
+                keys[b, : lengths[b]] = cache.keys
+                values[b, : lengths[b]] = cache.values
+            self.stack_copy_bytes += 2 * int(lengths.sum()) * self.hidden_size * 8
         valid = np.arange(max_len)[None, :] < lengths[:, None]
 
         full_mask = valid
         if predictor is not None:
             # each stream has its own key set, so selection is inherently
-            # per-stream; the same predictor calls the sequential path makes
+            # per-stream; the predictor sees the same key values the
+            # sequential path feeds it (padded rows are sliced away)
             selection = np.zeros_like(valid)
-            for b, cache in enumerate(caches):
-                selected = np.asarray(predictor(q[b], cache.keys), dtype=np.int64)
+            for b in range(n_streams):
+                stream_keys = keys[b, : lengths[b]]
+                selected = np.asarray(predictor(q[b], stream_keys), dtype=np.int64)
                 selected = selected[selected < lengths[b]]
                 if selected.size == 0:
                     selected = np.array([lengths[b] - 1], dtype=np.int64)

@@ -67,16 +67,40 @@ class IncrementalDecoder:
 
     ``model`` may be a :class:`~repro.model.transformer.TransformerModel` or
     :class:`~repro.model.transformer.QuantizedTransformer` -- anything exposing
-    ``forward(tokens, caches, predictor)`` and ``new_cache()``.
+    ``forward(tokens, caches, predictor)`` and ``new_cache()``.  When
+    ``arena`` (a :class:`~repro.serve.kv_arena.PagedKVArena`) is given, the
+    decoder's KV caches are thin handles onto one arena session instead of
+    standalone buffers; :meth:`release` returns the session's pages once the
+    stream is finished.
     """
 
-    def __init__(self, model, predictor: Optional[KeyPredictor] = None) -> None:
+    def __init__(
+        self,
+        model,
+        predictor: Optional[KeyPredictor] = None,
+        arena=None,
+    ) -> None:
         self.model = model
         self.predictor = predictor
-        self.caches: List[KVCache] = model.new_cache()
+        self.arena = arena
+        # route through the model's cache hook so wrappers can customise it
+        self.caches: List[KVCache] = (
+            model.new_cache() if arena is None else model.new_cache(arena=arena)
+        )
         self.prefill_stats: Optional[ForwardStats] = None
         self.decode_stats: List[ForwardStats] = []
         self.last_logits: Optional[np.ndarray] = None
+
+    def release(self) -> None:
+        """Free the KV storage held by this stream (idempotent).
+
+        For arena-backed decoders this returns the session's pages to the
+        shared pool; for standalone caches it drops the buffers.  Statistics
+        and logits survive -- only the KV history is discarded, so the
+        decoder can no longer step afterwards.
+        """
+        for cache in self.caches:
+            cache.release()
 
     @property
     def seq_len(self) -> int:

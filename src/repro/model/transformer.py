@@ -105,7 +105,10 @@ class TransformerModel:
         )
         self.norm_fn = rms_norm if config.norm == "rmsnorm" else layer_norm
 
-    def new_cache(self) -> List[KVCache]:
+    def new_cache(self, arena=None) -> List[KVCache]:
+        """Fresh per-layer KV caches (handles onto ``arena`` when given)."""
+        if arena is not None:
+            return arena.new_session_caches()
         return [KVCache() for _ in self.layers]
 
     def forward(
@@ -304,7 +307,9 @@ class QuantizedTransformer:
         quantised forward pass: each weight matrix is applied once to the
         whole batch (one integer GEMM -- and, with a bound engine, at most
         one BSTC decode -- per projection per step) and attention runs as one
-        ragged batched pass per layer over the per-stream caches.  Every GEMM
+        ragged batched pass per layer over the per-stream caches (served
+        zero-copy from the shared pool when the caches are handles onto one
+        :class:`~repro.serve.kv_arena.PagedKVArena`).  Every GEMM
         operand is an exact integer product and every float op is row-local,
         so logits and per-stream statistics are bit-identical to stepping the
         streams one at a time through :meth:`forward`.
@@ -391,5 +396,5 @@ class QuantizedTransformer:
             selected_fraction=keys_attended / keys_total if keys_total else 1.0,
         )
 
-    def new_cache(self) -> List[KVCache]:
-        return self.model.new_cache()
+    def new_cache(self, arena=None) -> List[KVCache]:
+        return self.model.new_cache(arena=arena)

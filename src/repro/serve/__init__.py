@@ -6,28 +6,44 @@ multi-tenant serving simulator:
 * :mod:`repro.serve.session` -- per-request state (KV caches, lifecycle
   timestamps, traffic counters) built on
   :class:`~repro.model.generation.IncrementalDecoder`;
+* :mod:`repro.serve.kv_arena` -- a shared paged KV arena
+  (:class:`PagedKVArena`): preallocated per-layer page pools, per-session
+  page tables, and an incrementally maintained batch view for attention;
 * :mod:`repro.serve.scheduler` -- a continuous-batching scheduler that admits,
   steps and retires many sessions against one shared model, reporting
-  per-request latency and aggregate throughput.
+  per-request latency, aggregate throughput and arena occupancy.
 
 Decoding is *fused*: each engine step stacks the active sessions' tokens
 into one ``(B, hidden)`` batch and models exposing ``forward_batch`` (the
 quantised transformer) run a single forward pass for the whole batch --
 one GEMM per weight matrix and one ragged batched attention per layer --
-with bit-identical tokens and statistics to per-session stepping.  Combined
-with the engine's decoded-plane LRU cache
-(:class:`repro.core.engine.MCBPEngine`), each layer's BSTC decode *and* its
-GEMM launch are paid once per engine step rather than once per request, just
-as a compressed tile set is decoded once and reused across a large
-reconstruction.
+with bit-identical tokens and statistics to per-session stepping.
+
+KV storage is *paged*: every session's per-layer keys/values live as
+fixed-size pages inside one :class:`PagedKVArena` (vLLM-style), with a
+per-session page table shared by all layers.  Batched attention consumes the
+arena through :meth:`PagedKVArena.gather_batch`, which keeps a per-layer
+padded batch view up to date by copying only the rows appended since the
+previous step -- ``O(B * hidden)`` bytes per step, independent of context
+length -- instead of re-stacking every session's whole history.  Finished
+sessions return their pages to the pool, so occupancy tracks live tokens,
+and the page-fault / occupancy / copy-traffic counters surface in
+:meth:`ServingReport.to_json`.  Combined with the engine's decoded-plane LRU
+cache (:class:`repro.core.engine.MCBPEngine`), each layer's BSTC decode
+*and* its GEMM launch are paid once per engine step rather than once per
+request, just as a compressed tile set is decoded once and reused across a
+large reconstruction.
 """
 
+from .kv_arena import ArenaStats, PagedKVArena
 from .scheduler import ContinuousBatchingScheduler, RequestMetrics, ServingReport
 from .session import GenerationSession, Request, SessionState
 
 __all__ = [
+    "ArenaStats",
     "ContinuousBatchingScheduler",
     "GenerationSession",
+    "PagedKVArena",
     "Request",
     "RequestMetrics",
     "ServingReport",

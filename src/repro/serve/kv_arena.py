@@ -1,0 +1,390 @@
+"""Paged KV arena: shared page pools + per-session page tables.
+
+The PR-2 fused decode path re-stacked every session's KV cache into a fresh
+``(B, max_len, hidden)`` padded tensor each scheduler step, so per-step copy
+traffic grew with total context length even though only one token per stream
+was new.  :class:`PagedKVArena` is the vLLM-style answer scaled to the NumPy
+simulator:
+
+* K/V rows live in preallocated per-layer **page pools** -- one
+  ``(n_pages, page_size, hidden)`` array per layer for keys and one for
+  values, grown geometrically when the free list runs dry;
+* each session owns a **page table** (a list of page ids shared by all
+  layers, since every layer appends the same number of tokens per step) plus
+  per-layer write cursors;
+* :meth:`free` returns a finished session's pages to the free list, so arena
+  occupancy tracks *live* tokens rather than peak concurrency, and reused
+  pages never grow the pool;
+* :meth:`gather_batch` materialises the padded batch for attention via **one
+  fancy-index gather per layer** (no per-session stacking loop) and keeps the
+  result as a per-layer cache: while the batch composition is stable, each
+  subsequent step copies only the newly appended rows -- ``O(B * hidden)``
+  bytes per step, independent of context length.
+
+Every counter the serving report exposes (page faults, occupancy, gather
+traffic) lives in :class:`ArenaStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArenaStats", "PagedKVArena"]
+
+
+@dataclass
+class ArenaStats:
+    """Occupancy and copy-traffic counters of one :class:`PagedKVArena`.
+
+    ``page_faults`` counts pages handed out (cumulative allocations, the
+    paging analogue of a fault); ``gather_bytes_copied`` is the number of KV
+    bytes materialised by :meth:`PagedKVArena.gather_batch` -- the arena-side
+    counterpart of the stacking path's
+    :attr:`repro.model.attention.MultiHeadAttention.stack_copy_bytes`.
+    ``view_bytes_copied`` tracks the single-stream materialisations used by
+    the non-fused path (:meth:`PagedKVArena.session_keys` / ``session_values``).
+    """
+
+    page_size: int
+    n_pages: int
+    pages_in_use: int = 0
+    peak_pages_in_use: int = 0
+    page_faults: int = 0
+    pages_freed: int = 0
+    pool_grows: int = 0
+    tokens_appended: int = 0
+    sessions_opened: int = 0
+    sessions_freed: int = 0
+    gather_rebuilds: int = 0
+    gather_incremental: int = 0
+    gather_bytes_copied: int = 0
+    view_bytes_copied: int = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the pool currently holding live pages."""
+        return self.pages_in_use / self.n_pages if self.n_pages else 0.0
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload["occupancy"] = self.occupancy
+        return payload
+
+
+class _Session:
+    """Page table plus per-layer write cursors of one live session."""
+
+    __slots__ = ("pages", "lengths")
+
+    def __init__(self, n_layers: int) -> None:
+        self.pages: List[int] = []
+        self.lengths = np.zeros(n_layers, dtype=np.int64)
+
+
+class PagedKVArena:
+    """Shared paged KV storage for many concurrent generation sessions.
+
+    Parameters
+    ----------
+    n_layers, hidden_size:
+        Shape of the KV rows (one K row and one V row of width
+        ``hidden_size`` per layer per token).
+    page_size:
+        Tokens per page.  Small pages waste less tail space per session;
+        large pages mean fewer allocations.
+    initial_pages:
+        Pool capacity to preallocate; the pool doubles (bounded by
+        ``max_pages``) whenever the free list runs dry.
+    max_pages:
+        Hard capacity bound; exhausting it raises ``RuntimeError`` instead of
+        growing, modelling a fixed HBM budget.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        hidden_size: int,
+        page_size: int = 32,
+        initial_pages: int = 64,
+        max_pages: Optional[int] = None,
+        dtype=np.float64,
+    ) -> None:
+        if n_layers < 1 or hidden_size < 1:
+            raise ValueError("n_layers and hidden_size must be >= 1")
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        if initial_pages < 1:
+            raise ValueError("initial_pages must be >= 1")
+        if max_pages is not None and max_pages < initial_pages:
+            raise ValueError("max_pages must be >= initial_pages")
+        self.n_layers = n_layers
+        self.hidden_size = hidden_size
+        self.page_size = page_size
+        self.max_pages = max_pages
+        self._k = np.zeros((n_layers, initial_pages, page_size, hidden_size), dtype)
+        self._v = np.zeros_like(self._k)
+        # LIFO free list, lowest page id on top so allocation order is stable
+        self._free: List[int] = list(range(initial_pages - 1, -1, -1))
+        self._sessions: Dict[int, _Session] = {}
+        self._next_sid = 0
+        self.stats = ArenaStats(page_size=page_size, n_pages=initial_pages)
+        # per-layer gather caches: {"sids", "lengths", "k", "v", "cap"}
+        self._gather: List[Optional[dict]] = [None] * n_layers
+
+    # -- session lifecycle -----------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        return self._k.shape[1]
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    def has_session(self, session_id: int) -> bool:
+        return session_id in self._sessions
+
+    def create_session(self) -> int:
+        """Open a new session; returns its id (ids are never reused)."""
+        sid = self._next_sid
+        self._next_sid += 1
+        self._sessions[sid] = _Session(self.n_layers)
+        self.stats.sessions_opened += 1
+        return sid
+
+    def new_session_caches(self) -> List["KVCache"]:
+        """One arena-backed :class:`~repro.model.attention.KVCache` per layer.
+
+        All returned handles share one session id (and therefore one page
+        table); releasing any of them frees the whole session.
+        """
+        from ..model.attention import KVCache
+
+        sid = self.create_session()
+        return [
+            KVCache(arena=self, session_id=sid, layer=layer)
+            for layer in range(self.n_layers)
+        ]
+
+    def free(self, session_id: int) -> None:
+        """Return the session's pages to the free list."""
+        entry = self._sessions.pop(session_id)
+        self._release_pages(entry)
+        self.stats.sessions_freed += 1
+        self._invalidate(session_id)
+
+    def _release_pages(self, entry: _Session) -> None:
+        if entry.pages:
+            self._free.extend(reversed(entry.pages))
+            self.stats.pages_freed += len(entry.pages)
+            self.stats.pages_in_use -= len(entry.pages)
+            entry.pages = []
+
+    def _invalidate(self, session_id: int) -> None:
+        """Drop gather caches whose buffers hold rows of ``session_id``.
+
+        Needed because a truncated-then-refilled session could otherwise pass
+        the monotone-length freshness check while its cached prefix is stale.
+        """
+        self._gather = [
+            None if (c is not None and session_id in c["sids"]) else c
+            for c in self._gather
+        ]
+
+    # -- appends ---------------------------------------------------------------
+
+    def seq_len(self, session_id: int, layer: int = 0) -> int:
+        return int(self._sessions[session_id].lengths[layer])
+
+    def append(
+        self, session_id: int, layer: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Append K/V rows for one layer of one session (allocating pages)."""
+        entry = self._sessions[session_id]
+        keys = np.atleast_2d(np.asarray(keys, dtype=self._k.dtype))
+        values = np.atleast_2d(np.asarray(values, dtype=self._v.dtype))
+        if keys.shape != values.shape:
+            raise ValueError("keys and values must have identical shapes")
+        if keys.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"expected rows of width {self.hidden_size}, got {keys.shape[1]}"
+            )
+        n_new = keys.shape[0]
+        ps = self.page_size
+        old = int(entry.lengths[layer])
+        new = old + n_new
+        needed_pages = -(-new // ps)
+        while len(entry.pages) < needed_pages:
+            entry.pages.append(self._take_page())
+        pos, row = old, 0
+        while row < n_new:
+            page = entry.pages[pos // ps]
+            slot = pos % ps
+            n = min(ps - slot, n_new - row)
+            self._k[layer, page, slot : slot + n] = keys[row : row + n]
+            self._v[layer, page, slot : slot + n] = values[row : row + n]
+            pos += n
+            row += n
+        entry.lengths[layer] = new
+        self.stats.tokens_appended += n_new
+
+    def _take_page(self) -> int:
+        if not self._free:
+            self._grow()
+        page = self._free.pop()
+        self.stats.page_faults += 1
+        self.stats.pages_in_use += 1
+        self.stats.peak_pages_in_use = max(
+            self.stats.peak_pages_in_use, self.stats.pages_in_use
+        )
+        return page
+
+    def _grow(self) -> None:
+        old_n = self.n_pages
+        new_n = old_n * 2
+        if self.max_pages is not None:
+            new_n = min(new_n, self.max_pages)
+        if new_n <= old_n:
+            raise RuntimeError(
+                f"arena exhausted: all {old_n} pages in use (max_pages bound)"
+            )
+        shape = (self.n_layers, new_n, self.page_size, self.hidden_size)
+        for attr in ("_k", "_v"):
+            grown = np.zeros(shape, dtype=self._k.dtype)
+            grown[:, :old_n] = getattr(self, attr)
+            setattr(self, attr, grown)
+        self._free.extend(range(new_n - 1, old_n - 1, -1))
+        self.stats.pool_grows += 1
+        self.stats.n_pages = new_n
+
+    # -- truncation (KVCache.clear support) ------------------------------------
+
+    def clear_layer(self, session_id: int, layer: int) -> None:
+        """Reset one layer's write cursor; pages free once every layer is empty."""
+        entry = self._sessions[session_id]
+        entry.lengths[layer] = 0
+        self._invalidate(session_id)
+        if not entry.lengths.any():
+            self._release_pages(entry)
+
+    # -- materialisation -------------------------------------------------------
+
+    def _session_rows(self, pool: np.ndarray, session_id: int, layer: int) -> np.ndarray:
+        entry = self._sessions[session_id]
+        length = int(entry.lengths[layer])
+        if length == 0:
+            return np.empty((0, self.hidden_size), dtype=pool.dtype)
+        ps = self.page_size
+        pages = np.asarray(entry.pages[: -(-length // ps)], dtype=np.int64)
+        rows = pool[layer, pages].reshape(-1, self.hidden_size)[:length]
+        self.stats.view_bytes_copied += rows.nbytes
+        return rows
+
+    def session_keys(self, session_id: int, layer: int) -> np.ndarray:
+        """Contiguous ``(seq_len, hidden)`` copy of one session's keys."""
+        return self._session_rows(self._k, session_id, layer)
+
+    def session_values(self, session_id: int, layer: int) -> np.ndarray:
+        """Contiguous ``(seq_len, hidden)`` copy of one session's values."""
+        return self._session_rows(self._v, session_id, layer)
+
+    def gather_batch(
+        self, layer: int, session_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Padded ``(B, max_len, hidden)`` K/V views for one layer's batch.
+
+        The returned arrays are views into a per-layer batch buffer that the
+        arena maintains incrementally: while ``session_ids`` is unchanged
+        since the previous call, only the rows appended in between are copied
+        (one vectorised gather of ``B`` rows per decode step).  Composition
+        changes, truncations or buffer exhaustion trigger a full rebuild --
+        still a single fancy-index gather over the page pool rather than a
+        per-session stacking loop.  Rows past each session's length are
+        arbitrary (finite) padding; callers mask them exactly as the stacking
+        path masks its zero padding.
+
+        Returns ``(keys, values, lengths)``; the views stay valid until the
+        next ``gather_batch`` / ``free`` / ``clear_layer`` call.
+        """
+        sids = tuple(session_ids)
+        if not sids:
+            raise ValueError("session_ids must not be empty")
+        entries = [self._sessions[s] for s in sids]
+        lengths = np.array([int(e.lengths[layer]) for e in entries], dtype=np.int64)
+        max_len = int(lengths.max())
+        ps = self.page_size
+        itemsize = self._k.itemsize
+        cache = self._gather[layer]
+
+        fresh = (
+            cache is not None
+            and cache["sids"] == sids
+            and cache["cap"] >= max_len
+            and bool((lengths >= cache["lengths"]).all())
+        )
+        if fresh:
+            delta = lengths - cache["lengths"]
+            total_new = int(delta.sum())
+            if total_new:
+                grew = np.flatnonzero(delta)
+                if int(delta.max()) == 1:
+                    # the decode-step fast path: one new row per grown stream
+                    pos = lengths[grew] - 1
+                    pages = np.array(
+                        [entries[b].pages[p] for b, p in zip(grew, pos // ps)],
+                        dtype=np.int64,
+                    )
+                    slots = pos % ps
+                    cache["k"][grew, pos] = self._k[layer, pages, slots]
+                    cache["v"][grew, pos] = self._v[layer, pages, slots]
+                else:
+                    for b in grew:
+                        start, stop = int(cache["lengths"][b]), int(lengths[b])
+                        entry = entries[b]
+                        pos = start
+                        while pos < stop:
+                            page = entry.pages[pos // ps]
+                            slot = pos % ps
+                            n = min(ps - slot, stop - pos)
+                            cache["k"][b, pos : pos + n] = self._k[
+                                layer, page, slot : slot + n
+                            ]
+                            cache["v"][b, pos : pos + n] = self._v[
+                                layer, page, slot : slot + n
+                            ]
+                            pos += n
+                self.stats.gather_bytes_copied += (
+                    2 * total_new * self.hidden_size * itemsize
+                )
+            self.stats.gather_incremental += 1
+            cache["lengths"] = lengths
+        else:
+            # full rebuild: one fancy-index gather per pool, padded to page
+            # boundaries, with headroom so steady-state steps stay incremental
+            n_batch_pages = max(1, -(-max_len // ps))
+            cap = (n_batch_pages + 8) * ps
+            table = np.zeros((len(sids), n_batch_pages), dtype=np.int64)
+            for b, entry in enumerate(entries):
+                used = entry.pages[: -(-int(lengths[b]) // ps)] if lengths[b] else []
+                table[b, : len(used)] = used
+            buf_k = np.zeros((len(sids), cap, self.hidden_size), dtype=self._k.dtype)
+            buf_v = np.zeros_like(buf_k)
+            span = n_batch_pages * ps
+            buf_k[:, :span] = self._k[layer, table].reshape(len(sids), span, -1)
+            buf_v[:, :span] = self._v[layer, table].reshape(len(sids), span, -1)
+            cache = {
+                "sids": sids,
+                "lengths": lengths,
+                "k": buf_k,
+                "v": buf_v,
+                "cap": cap,
+            }
+            self._gather[layer] = cache
+            self.stats.gather_rebuilds += 1
+            self.stats.gather_bytes_copied += (
+                2 * len(sids) * span * self.hidden_size * itemsize
+            )
+        return cache["k"][:, :max_len], cache["v"][:, :max_len], lengths

@@ -13,13 +13,18 @@ The scheduler advances simulated time in *engine steps*.  Each step it
    ragged batched attention per layer -- instead of ``B`` separate
    ``model.forward`` calls.  Models without a fused path fall back to
    per-session stepping with identical results;
-3. retires finished sessions, freeing their slots for the next step.
+3. retires finished sessions, freeing their slots -- and their KV arena
+   pages -- for the next step.
 
 Because every session shares one model -- and, when the model is bound to an
 :class:`repro.core.engine.MCBPEngine`, one decoded-plane cache -- each
 layer's BSTC decode *and* its GEMM launch are paid once per step instead of
 once per session, which is the serving-side analogue of BRCR/BSTC amortising
-bit-level work across a whole weight matrix.
+bit-level work across a whole weight matrix.  Session KV lives in a shared
+:class:`~repro.serve.kv_arena.PagedKVArena` by default, so each decode
+step's batched attention reads the paged pool through an incrementally
+maintained view (O(B) copy bytes per step) instead of re-stacking every
+session's full context.
 
 The result of a run is a :class:`ServingReport` with per-request queueing
 delay, time-to-first-token, end-to-end latency and attention-traffic volume,
@@ -37,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..model.generation import KeyPredictor
+from .kv_arena import PagedKVArena
 from .session import GenerationSession, Request, RequestMetrics
 
 __all__ = ["RequestMetrics", "ServingReport", "ContinuousBatchingScheduler"]
@@ -44,11 +50,17 @@ __all__ = ["RequestMetrics", "ServingReport", "ContinuousBatchingScheduler"]
 
 @dataclass
 class ServingReport:
-    """Aggregate outcome of a scheduler run."""
+    """Aggregate outcome of a scheduler run.
+
+    ``arena`` carries the KV arena's occupancy / paging / copy-traffic
+    counters (:meth:`repro.serve.kv_arena.ArenaStats.to_json`) when the run
+    used one, ``None`` otherwise.
+    """
 
     steps: int
     requests: List[RequestMetrics] = field(default_factory=list)
     max_concurrency: int = 0
+    arena: Optional[dict] = None
 
     @property
     def total_tokens(self) -> int:
@@ -92,6 +104,7 @@ class ServingReport:
             "mean_latency_steps": self.mean_latency_steps,
             "p95_latency_steps": self.latency_percentile(95),
             "mean_queue_delay_steps": self.mean_queue_delay_steps,
+            "arena": self.arena,
             "requests": [asdict(r) for r in self.requests],
         }
 
@@ -107,6 +120,7 @@ class ServingReport:
             steps=int(payload["steps"]),
             max_concurrency=int(payload["max_concurrency"]),
             requests=requests,
+            arena=payload.get("arena"),
         )
 
     def summary(self) -> str:
@@ -128,6 +142,16 @@ class ServingReport:
             f"p95_latency={self.latency_percentile(95):.1f} "
             f"peak_concurrency={self.max_concurrency}"
         )
+        if self.arena is not None:
+            a = self.arena
+            lines.append(
+                f"arena: {a['page_size']}-token pages, "
+                f"peak {a['peak_pages_in_use']}/{a['n_pages']} in use, "
+                f"{a['page_faults']} faults, {a['pages_freed']} freed, "
+                f"gather {a['gather_bytes_copied'] / 1024.0:.1f} KiB "
+                f"({a['gather_incremental']} incremental / "
+                f"{a['gather_rebuilds']} rebuilds)"
+            )
         return "\n".join(lines)
 
 
@@ -149,6 +173,22 @@ class ContinuousBatchingScheduler:
         engine step (the default).  Models without ``forward_batch`` fall
         back to per-session stepping automatically; ``fused=False`` forces
         the per-session loop, which the benchmarks use as the baseline.
+    arena:
+        KV storage policy.  ``None`` (the default) auto-enables a shared
+        :class:`~repro.serve.kv_arena.PagedKVArena` sized from
+        ``model.config`` whenever the fused batched path can consume it
+        (``fused=True`` and the model exposes ``forward_batch``) -- every
+        session's KV then lives in one paged pool, finished sessions return
+        their pages, and batched attention reads the pool zero-copy instead
+        of re-stacking per-session caches each step.  Per-session stepping
+        cannot read the pool in place (it would pay a full-context
+        materialisation per step), so auto mode keeps standalone caches
+        there.  ``True`` forces the arena (models without a ``config`` still
+        fall back), ``False`` disables it, and passing a
+        :class:`PagedKVArena` instance uses it directly (sharing one pool
+        across several schedulers is allowed).
+    page_size:
+        Tokens per arena page when the scheduler builds the arena itself.
     """
 
     def __init__(
@@ -157,6 +197,8 @@ class ContinuousBatchingScheduler:
         max_active: int = 8,
         predictor: Optional[KeyPredictor] = None,
         fused: bool = True,
+        arena=None,
+        page_size: int = 32,
     ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
@@ -164,6 +206,22 @@ class ContinuousBatchingScheduler:
         self.max_active = max_active
         self.predictor = predictor
         self.fused = fused
+        config = getattr(model, "config", None)
+        if arena is None:
+            arena = bool(fused and hasattr(model, "forward_batch"))
+        if arena is True:
+            if config is None:
+                arena = None  # model shape unknown: standalone caches
+            else:
+                arena = PagedKVArena(
+                    n_layers=config.n_layers,
+                    hidden_size=config.hidden_size,
+                    page_size=page_size,
+                )
+        elif arena is False:
+            arena = None
+        self.arena = arena
+        self.last_step_stats: Optional[Dict[str, int]] = None
         self.current_step = 0
         # min-heap keyed by (arrival_step, submission index): earliest arrival
         # first, submission order on ties, O(log n) per admission
@@ -182,7 +240,9 @@ class ContinuousBatchingScheduler:
         if request.request_id in self._request_ids:
             raise ValueError(f"duplicate request_id {request.request_id!r}")
         self._request_ids.add(request.request_id)
-        session = GenerationSession(request, self.model, predictor=self.predictor)
+        session = GenerationSession(
+            request, self.model, predictor=self.predictor, arena=self.arena
+        )
         heapq.heappush(self._queue, (request.arrival_step, self._submitted, session))
         self._submitted += 1
         return session
@@ -239,10 +299,29 @@ class ContinuousBatchingScheduler:
                 for session in decoding:
                     emitted[session.request.request_id] = session.decode_step(step)
 
+        retired = 0
         for session in list(self._active):
             if session.is_finished:
                 self._active.remove(session)
+                session.release_kv()  # pages return to the pool immediately
                 self._finished.append(session)
+                retired += 1
+
+        stats: Dict[str, int] = {
+            "step": step,
+            "emitted": len(emitted),
+            "admitted": len(admitted),
+            "decoded": len(decoding),
+            "retired": retired,
+            "active": len(self._active),
+            "queued": len(self._queue),
+        }
+        if self.arena is not None:
+            a = self.arena.stats
+            stats["arena_pages_in_use"] = a.pages_in_use
+            stats["arena_page_faults"] = a.page_faults
+            stats["arena_gather_bytes_copied"] = a.gather_bytes_copied
+        self.last_step_stats = stats
 
         self.current_step += 1
         return emitted
@@ -269,4 +348,5 @@ class ContinuousBatchingScheduler:
             steps=self.current_step,
             max_concurrency=self._max_concurrency,
             requests=[session.to_metrics() for session in self._finished],
+            arena=self.arena.stats.to_json() if self.arena is not None else None,
         )

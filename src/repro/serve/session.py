@@ -95,9 +95,10 @@ class GenerationSession:
         request: Request,
         model,
         predictor: Optional[KeyPredictor] = None,
+        arena=None,
     ) -> None:
         self.request = request
-        self.decoder = IncrementalDecoder(model, predictor=predictor)
+        self.decoder = IncrementalDecoder(model, predictor=predictor, arena=arena)
         self.state = SessionState.QUEUED
         self.generated_tokens: List[int] = []
         self.admitted_step: Optional[int] = None
@@ -168,6 +169,16 @@ class GenerationSession:
             self.state = SessionState.FINISHED
             self.finished_step = step
         return token
+
+    def release_kv(self) -> None:
+        """Free the session's KV storage (arena pages or standalone buffers).
+
+        The scheduler calls this when it retires a finished session, so arena
+        occupancy tracks live tokens rather than peak concurrency.  Metrics
+        and generated tokens are unaffected; only further decoding becomes
+        impossible.
+        """
+        self.decoder.release()
 
     # -- metrics ---------------------------------------------------------------
 

@@ -1,18 +1,30 @@
-"""Golden regression test for :class:`repro.core.engine.EngineStats`.
+"""Golden regression tests for engine and serving counter accounting.
 
-Runs one fixed, fully seeded workload -- repeated GEMMs through a
-deliberately undersized decoded-plane cache (so LRU eviction is exercised)
-plus single and batched BGPP selection -- and pins *every* counter.  Perf
-refactors of BRCR/BSTC/BGPP must not silently change the accounting; if a
-change here is intentional, the expected values below must be updated in the
-same commit with an explanation.
+Each class runs one fixed, fully seeded workload and pins *every* counter:
+
+* :class:`TestEngineGolden` -- repeated GEMMs through a deliberately
+  undersized decoded-plane cache (so LRU eviction is exercised) plus single
+  and batched BGPP selection, pinning :class:`repro.core.engine.EngineStats`;
+* :class:`TestServingGolden` -- a fixed four-request scheduler run over the
+  paged KV arena, pinning the ``ServingReport.to_json`` schema (including
+  the arena counter block), the per-step stats dict, and the JSON round
+  trip.  Every pinned value is derived from integer length accounting only
+  (no request uses an EOS token), so the goldens are platform-independent.
+
+Perf refactors must not silently change the accounting; if a change here is
+intentional, the expected values below must be updated in the same commit
+with an explanation.
 """
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.core import BGPPConfig
 from repro.core.engine import EngineStats, MCBPEngine
+from repro.model import QuantizedTransformer, TransformerModel, get_model_config
+from repro.serve import ContinuousBatchingScheduler, Request, ServingReport
 from repro.sparsity.synthetic import gaussian_int_weights
 
 GOLDEN = {
@@ -120,6 +132,120 @@ class TestComputeReductionBitWidth:
         engine = MCBPEngine(weight_bits=4)
         engine.reset_stats()
         assert engine.stats.weight_bits == 4
+
+
+SERVING_GOLDEN = {
+    "steps": 13,
+    "total_tokens": 22,
+    "max_concurrency": 2,
+}
+
+# ArenaStats.to_json() of the fixed run below; every value is a function of
+# the requests' prompt/decode lengths and the admission schedule alone.
+ARENA_GOLDEN = {
+    "page_size": 4,
+    "n_pages": 64,
+    "pages_in_use": 0,
+    "peak_pages_in_use": 6,
+    "page_faults": 11,
+    "pages_freed": 11,
+    "pool_grows": 0,
+    "tokens_appended": 74,
+    "sessions_opened": 4,
+    "sessions_freed": 4,
+    "gather_rebuilds": 6,
+    "gather_incremental": 6,
+    "gather_bytes_copied": 143360,
+    "view_bytes_copied": 133120,
+    "occupancy": 0.0,
+}
+
+LAST_STEP_GOLDEN = {
+    "step": 12,
+    "emitted": 1,
+    "admitted": 0,
+    "decoded": 1,
+    "retired": 1,
+    "active": 0,
+    "queued": 0,
+    "arena_pages_in_use": 0,
+    "arena_page_faults": 11,
+    "arena_gather_bytes_copied": 143360,
+}
+
+REPORT_JSON_KEYS = {
+    "steps",
+    "max_concurrency",
+    "total_tokens",
+    "throughput_tokens_per_step",
+    "mean_latency_steps",
+    "p95_latency_steps",
+    "mean_queue_delay_steps",
+    "arena",
+    "requests",
+}
+
+
+def run_fixed_serving_workload():
+    """Four fixed requests through two slots over a 4-token-page arena."""
+    model = QuantizedTransformer(
+        TransformerModel(get_model_config("tiny"), seed=0), seed=1
+    )
+    requests = [
+        Request("g0", prompt_tokens=[1, 2, 3, 4, 5], max_new_tokens=6, arrival_step=0),
+        Request("g1", prompt_tokens=[7, 8, 9], max_new_tokens=4, arrival_step=0),
+        Request("g2", prompt_tokens=[11] * 9, max_new_tokens=5, arrival_step=2),
+        Request("g3", prompt_tokens=[3, 1], max_new_tokens=7, arrival_step=3),
+    ]
+    scheduler = ContinuousBatchingScheduler(model, max_active=2, page_size=4)
+    scheduler.submit_many(requests)
+    report = scheduler.run()
+    return scheduler, report
+
+
+class TestServingGolden:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_fixed_serving_workload()
+
+    @pytest.mark.parametrize("field,expected", sorted(SERVING_GOLDEN.items()))
+    def test_report_field_pinned(self, run, field, expected):
+        _, report = run
+        assert getattr(report, field) == expected
+
+    @pytest.mark.parametrize("counter,expected", sorted(ARENA_GOLDEN.items()))
+    def test_arena_counter_pinned(self, run, counter, expected):
+        _, report = run
+        assert report.arena[counter] == expected
+
+    def test_arena_schema_is_exactly_the_golden_keys(self, run):
+        _, report = run
+        assert set(report.arena) == set(ARENA_GOLDEN)
+
+    def test_step_stats_dict_pinned(self, run):
+        scheduler, _ = run
+        assert scheduler.last_step_stats == LAST_STEP_GOLDEN
+
+    def test_to_json_schema_and_round_trip(self, run):
+        _, report = run
+        payload = json.loads(json.dumps(report.to_json()))
+        assert set(payload) == REPORT_JSON_KEYS
+        rebuilt = ServingReport.from_json(payload)
+        assert rebuilt.steps == report.steps
+        assert rebuilt.max_concurrency == report.max_concurrency
+        assert rebuilt.requests == report.requests
+        assert rebuilt.arena == report.arena
+        assert rebuilt.summary() == report.summary()
+        # a second round trip is a fixed point
+        assert ServingReport.from_json(rebuilt.to_json()).to_json() == payload
+
+    def test_legacy_payload_without_arena_still_loads(self, run):
+        _, report = run
+        payload = report.to_json()
+        del payload["arena"]  # PR-2-era reports predate the arena block
+        rebuilt = ServingReport.from_json(payload)
+        assert rebuilt.arena is None
+        assert rebuilt.requests == report.requests
 
 
 class TestResetStatsCachePolicy:

@@ -1,0 +1,269 @@
+"""Property suite for :class:`repro.serve.kv_arena.PagedKVArena`.
+
+Random page sizes, session lifetimes and append patterns are replayed in
+parallel against standalone :class:`~repro.model.attention.KVCache` buffers
+(the storage of record for the stacking path).  Invariants pinned here:
+
+* ``gather_batch`` output equals the per-session ``KVCache.keys/values``
+  exactly (bit-for-bit), for any interleaving of appends, frees and batch
+  compositions -- including the incremental refresh path;
+* freed pages are reused before the pool grows, and occupancy
+  (``pages_in_use``) always equals the live sessions' page demand and never
+  exceeds the pool;
+* the arena-backed ``KVCache`` handle behaves like a standalone cache
+  (views, ``seq_len``, ``clear``, ``release``).
+
+The hypothesis profile is deterministic (derandomized, no deadline) so CI
+runs are reproducible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.attention import KVCache
+from repro.serve import PagedKVArena
+
+# deterministic on CI: no wall-clock deadline, fixed example sequence
+FUZZ = settings(max_examples=30, deadline=None, derandomize=True)
+
+
+def _expected_pages(lengths, page_size):
+    """Page demand of one session given its per-layer lengths."""
+    max_len = int(max(lengths))
+    return -(-max_len // page_size) if max_len else 0
+
+
+class TestArenaVsStandaloneReference:
+    @FUZZ
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_lifetimes_match_reference_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        n_layers = int(rng.integers(1, 4))
+        hidden = int(rng.integers(1, 12))
+        page_size = int(rng.integers(1, 8))
+        arena = PagedKVArena(
+            n_layers,
+            hidden,
+            page_size=page_size,
+            initial_pages=int(rng.integers(1, 6)),
+        )
+        live = {}  # sid -> per-layer list of standalone reference caches
+
+        for _ in range(int(rng.integers(10, 40))):
+            op = rng.random()
+            if op < 0.30 or not live:  # open a session
+                sid = arena.create_session()
+                live[sid] = [KVCache() for _ in range(n_layers)]
+            elif op < 0.75:  # append the same rows to arena and reference
+                sid = list(live)[int(rng.integers(0, len(live)))]
+                n_rows = int(rng.integers(1, 2 * page_size + 2))
+                for layer in range(n_layers):
+                    k = rng.normal(size=(n_rows, hidden))
+                    v = rng.normal(size=(n_rows, hidden))
+                    arena.append(sid, layer, k, v)
+                    live[sid][layer].append(k, v)
+            elif op < 0.85 and live:  # free a session
+                sid = list(live)[int(rng.integers(0, len(live)))]
+                arena.free(sid)
+                del live[sid]
+            elif live:  # gather a random batch and compare bit-for-bit
+                sids = [
+                    s
+                    for s in live
+                    if rng.random() < 0.7 and live[s][0].seq_len > 0
+                ]
+                if not sids:
+                    continue
+                layer = int(rng.integers(0, n_layers))
+                keys, values, lengths = arena.gather_batch(layer, sids)
+                for b, sid in enumerate(sids):
+                    ref = live[sid][layer]
+                    assert lengths[b] == ref.seq_len
+                    assert np.array_equal(keys[b, : lengths[b]], ref.keys)
+                    assert np.array_equal(values[b, : lengths[b]], ref.values)
+
+            # occupancy invariants hold after every operation
+            demand = sum(
+                _expected_pages(
+                    [live[s][layer].seq_len for layer in range(n_layers)],
+                    page_size,
+                )
+                for s in live
+            )
+            assert arena.stats.pages_in_use == demand
+            assert arena.stats.pages_in_use <= arena.n_pages
+            assert arena.stats.n_pages == arena.n_pages
+            assert arena.stats.peak_pages_in_use <= arena.n_pages
+
+        for sid in list(live):
+            arena.free(sid)
+        assert arena.stats.pages_in_use == 0
+        assert arena.stats.page_faults == arena.stats.pages_freed
+
+    @FUZZ
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_incremental_refresh_equals_fresh_rebuild(self, seed):
+        """Repeated gathers over a stable batch == a cold gather's answer."""
+        rng = np.random.default_rng(seed)
+        hidden = int(rng.integers(1, 10))
+        page_size = int(rng.integers(1, 6))
+        arena = PagedKVArena(1, hidden, page_size=page_size, initial_pages=2)
+        n_sessions = int(rng.integers(1, 5))
+        sids = [arena.create_session() for _ in range(n_sessions)]
+        refs = {sid: KVCache() for sid in sids}
+        for sid in sids:  # ragged initial contexts
+            rows = int(rng.integers(1, 3 * page_size))
+            k, v = rng.normal(size=(2, rows, hidden))
+            arena.append(sid, 0, k, v)
+            refs[sid].append(k, v)
+
+        arena.gather_batch(0, sids)  # prime the per-layer cache (rebuild)
+        for _ in range(int(rng.integers(1, 12))):
+            for sid in sids:  # one decode step: one new row everywhere
+                k, v = rng.normal(size=(2, 1, hidden))
+                arena.append(sid, 0, k, v)
+                refs[sid].append(k, v)
+            keys, values, lengths = arena.gather_batch(0, sids)
+            for b, sid in enumerate(sids):
+                assert np.array_equal(keys[b, : lengths[b]], refs[sid].keys)
+                assert np.array_equal(values[b, : lengths[b]], refs[sid].values)
+        assert arena.stats.gather_incremental > 0
+
+
+class TestPageReuse:
+    def test_freed_pages_are_reused_without_growth(self):
+        arena = PagedKVArena(1, 4, page_size=2, initial_pages=4)
+        a = arena.create_session()
+        arena.append(a, 0, np.ones((8, 4)), np.ones((8, 4)))  # all 4 pages
+        assert arena.stats.pages_in_use == 4
+        assert arena.stats.pool_grows == 0
+        arena.free(a)
+        assert arena.stats.pages_in_use == 0
+        b = arena.create_session()
+        arena.append(b, 0, np.zeros((8, 4)), np.zeros((8, 4)))
+        # the second session fits entirely in recycled pages: no growth
+        assert arena.n_pages == 4
+        assert arena.stats.pool_grows == 0
+        assert arena.stats.page_faults == 8
+        assert arena.stats.pages_freed == 4
+
+    def test_pool_grows_when_free_list_is_dry(self):
+        arena = PagedKVArena(1, 4, page_size=2, initial_pages=1)
+        sid = arena.create_session()
+        arena.append(sid, 0, np.ones((7, 4)), np.ones((7, 4)))  # 4 pages
+        assert arena.n_pages >= 4
+        assert arena.stats.pool_grows >= 1
+        k = arena.session_keys(sid, 0)
+        assert k.shape == (7, 4) and np.array_equal(k, np.ones((7, 4)))
+
+    def test_max_pages_bound_is_enforced(self):
+        arena = PagedKVArena(1, 4, page_size=2, initial_pages=2, max_pages=2)
+        sid = arena.create_session()
+        arena.append(sid, 0, np.ones((4, 4)), np.ones((4, 4)))
+        with pytest.raises(RuntimeError, match="exhausted"):
+            arena.append(sid, 0, np.ones((1, 4)), np.ones((1, 4)))
+
+    def test_truncated_then_refilled_session_invalidates_gather(self):
+        """A cleared+refilled session must not serve stale cached rows."""
+        arena = PagedKVArena(1, 3, page_size=2, initial_pages=2)
+        sid = arena.create_session()
+        arena.append(sid, 0, np.full((3, 3), 1.0), np.full((3, 3), 2.0))
+        arena.gather_batch(0, [sid])  # cache now holds the 1.0 rows
+        arena.clear_layer(sid, 0)
+        assert arena.stats.pages_in_use == 0
+        arena.append(sid, 0, np.full((3, 3), 9.0), np.full((3, 3), 8.0))
+        keys, values, lengths = arena.gather_batch(0, [sid])
+        assert np.array_equal(keys[0, :3], np.full((3, 3), 9.0))
+        assert np.array_equal(values[0, :3], np.full((3, 3), 8.0))
+
+
+class TestArenaBackedKVCacheHandle:
+    def test_handle_matches_standalone_views(self):
+        rng = np.random.default_rng(0)
+        arena = PagedKVArena(2, 6, page_size=3)
+        handles = arena.new_session_caches()
+        refs = [KVCache(), KVCache()]
+        assert all(h.keys is None and h.seq_len == 0 for h in handles)
+        for _ in range(5):
+            for layer, (handle, ref) in enumerate(zip(handles, refs)):
+                k, v = rng.normal(size=(2, 2, 6))
+                handle.append(k, v)
+                ref.append(k, v)
+        for handle, ref in zip(handles, refs):
+            assert handle.seq_len == ref.seq_len
+            assert np.array_equal(handle.keys, ref.keys)
+            assert np.array_equal(handle.values, ref.values)
+            assert handle.arena is arena
+
+    def test_clear_frees_pages_once_all_layers_clear(self):
+        arena = PagedKVArena(2, 4, page_size=2)
+        handles = arena.new_session_caches()
+        for handle in handles:
+            handle.append(np.ones((3, 4)), np.ones((3, 4)))
+        assert arena.stats.pages_in_use == 2
+        handles[0].clear()
+        assert handles[0].seq_len == 0 and handles[0].keys is None
+        assert arena.stats.pages_in_use == 2  # layer 1 still live
+        handles[1].clear()
+        assert arena.stats.pages_in_use == 0
+
+    def test_release_frees_whole_session_idempotently(self):
+        arena = PagedKVArena(2, 4, page_size=2)
+        handles = arena.new_session_caches()
+        handles[0].append(np.ones((2, 4)), np.ones((2, 4)))
+        sid = handles[0].arena_session
+        assert arena.has_session(sid)
+        handles[0].release()
+        assert not arena.has_session(sid)
+        handles[1].release()  # second handle: no-op, no KeyError
+        assert arena.stats.sessions_freed == 1
+
+    def test_released_handle_reads_like_a_cleared_cache(self):
+        """Post-release accessors mirror standalone clear(); writes error."""
+        arena = PagedKVArena(1, 4, page_size=2)
+        (handle,) = arena.new_session_caches()
+        handle.append(np.ones((3, 4)), np.ones((3, 4)))
+        handle.release()
+        assert handle.seq_len == 0
+        assert handle.keys is None and handle.values is None
+        handle.clear()  # no-op, not an error
+        with pytest.raises(RuntimeError, match="released"):
+            handle.append(np.ones((1, 4)), np.ones((1, 4)))
+
+    def test_append_after_free_raises(self):
+        arena = PagedKVArena(1, 4)
+        sid = arena.create_session()
+        arena.free(sid)
+        with pytest.raises(KeyError):
+            arena.append(sid, 0, np.ones((1, 4)), np.ones((1, 4)))
+        with pytest.raises(KeyError):
+            arena.gather_batch(0, [sid])
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            PagedKVArena(0, 4)
+        with pytest.raises(ValueError):
+            PagedKVArena(1, 4, page_size=0)
+        with pytest.raises(ValueError):
+            PagedKVArena(1, 4, initial_pages=0)
+        with pytest.raises(ValueError):
+            PagedKVArena(1, 4, initial_pages=8, max_pages=4)
+        with pytest.raises(ValueError):
+            KVCache(arena=PagedKVArena(1, 4), session_id=None, layer=None)
+
+    def test_append_shape_checks(self):
+        arena = PagedKVArena(1, 4)
+        sid = arena.create_session()
+        with pytest.raises(ValueError, match="width"):
+            arena.append(sid, 0, np.ones((2, 3)), np.ones((2, 3)))
+        with pytest.raises(ValueError, match="identical"):
+            arena.append(sid, 0, np.ones((2, 4)), np.ones((3, 4)))
+
+    def test_gather_requires_sessions(self):
+        arena = PagedKVArena(1, 4)
+        with pytest.raises(ValueError, match="empty"):
+            arena.gather_batch(0, [])

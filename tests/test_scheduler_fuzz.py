@@ -1,0 +1,166 @@
+"""Randomized end-to-end scheduler traces: fused x arena must be invisible.
+
+Each example fuzzes a full serving trace -- Poisson or bursty arrivals,
+random prompt/output lengths, capacities 1..16 -- and replays it through the
+continuous-batching scheduler in all four execution configurations
+(``fused`` on/off x ``arena`` on/off).  The serving stack's core contract is
+that these are pure execution strategies: every configuration must emit
+bit-identical tokens and identical :class:`RequestMetrics`, and the arena
+must drain completely (every page freed) once the trace finishes.
+
+The hypothesis profile is deterministic (derandomized, no deadline, fixed
+example budget) so PR runs are reproducible; see the CI workflow step that
+executes this file explicitly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bgpp import make_bgpp_predictor
+from repro.model import QuantizedTransformer, TransformerModel, get_model_config
+from repro.serve import ContinuousBatchingScheduler, PagedKVArena, Request
+
+# deterministic on CI: no wall-clock deadline, fixed example sequence
+FUZZ = settings(max_examples=10, deadline=None, derandomize=True)
+
+CONFIGS = [(fused, arena) for fused in (True, False) for arena in (True, False)]
+
+
+@pytest.fixture(scope="module")
+def model():
+    """One calibrated quantised model shared by every fuzzed trace."""
+    return QuantizedTransformer(TransformerModel(get_model_config("tiny"), seed=0), seed=1)
+
+
+def _sample_trace(rng, vocab):
+    """Random request trace: Poisson or bursty arrivals, ragged lengths."""
+    n_requests = int(rng.integers(2, 9))
+    if rng.random() < 0.5:  # Poisson-like: independent exponential gaps
+        gaps = rng.exponential(scale=float(rng.uniform(0.0, 2.0)), size=n_requests)
+        arrivals = np.floor(np.cumsum(gaps)).astype(int)
+    else:  # bursty: a few arrival instants shared by whole groups
+        n_bursts = int(rng.integers(1, 4))
+        burst_steps = np.sort(rng.integers(0, 10, size=n_bursts))
+        arrivals = np.sort(burst_steps[rng.integers(0, n_bursts, size=n_requests)])
+    return [
+        Request(
+            request_id=f"r{i:02d}",
+            prompt_tokens=rng.integers(0, vocab, size=int(rng.integers(1, 12))).tolist(),
+            max_new_tokens=int(rng.integers(1, 7)),
+            arrival_step=int(arrivals[i]),
+        )
+        for i in range(n_requests)
+    ]
+
+
+def _run(model, requests, max_active, fused, arena, predictor=None):
+    scheduler = ContinuousBatchingScheduler(
+        model,
+        max_active=max_active,
+        predictor=predictor,
+        fused=fused,
+        arena=arena,
+        page_size=4,  # small pages so traces exercise multi-page sessions
+    )
+    sessions = scheduler.submit_many(requests)
+    scheduler.run()
+    tokens = [s.generated_tokens for s in sessions]
+    metrics = [s.to_metrics() for s in sessions]
+    return tokens, metrics, scheduler
+
+
+class TestFuzzedTraces:
+    @FUZZ
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_all_four_configurations_are_bit_identical(self, model, seed):
+        rng = np.random.default_rng(seed)
+        requests = _sample_trace(rng, model.config.vocab_size)
+        max_active = int(rng.integers(1, 17))
+
+        results = {
+            cfg: _run(model, requests, max_active, fused=cfg[0], arena=cfg[1])
+            for cfg in CONFIGS
+        }
+        ref_tokens, ref_metrics, _ = results[(True, True)]
+        for cfg, (tokens, metrics, scheduler) in results.items():
+            assert tokens == ref_tokens, f"tokens diverge for fused,arena={cfg}"
+            assert metrics == ref_metrics, f"metrics diverge for fused,arena={cfg}"
+            if scheduler.arena is not None:
+                stats = scheduler.arena.stats
+                # the drained arena holds zero live pages and balanced books
+                assert stats.pages_in_use == 0
+                assert stats.page_faults == stats.pages_freed
+                assert stats.sessions_opened == stats.sessions_freed == len(requests)
+                assert stats.peak_pages_in_use <= stats.n_pages
+
+    @FUZZ
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_with_bgpp_predictor(self, model, seed):
+        """Sparse-attention serving is config-invariant too (2 configs for cost)."""
+        rng = np.random.default_rng(seed)
+        requests = _sample_trace(rng, model.config.vocab_size)[:4]
+        max_active = int(rng.integers(1, 9))
+        predictor = make_bgpp_predictor(alpha=0.7, rounds=3)
+        arena_run = _run(model, requests, max_active, True, True, predictor)
+        plain_run = _run(model, requests, max_active, False, False, predictor)
+        assert arena_run[0] == plain_run[0]
+        assert arena_run[1] == plain_run[1]
+
+
+class TestArenaPolicy:
+    def test_auto_mode_skips_arena_for_per_session_stepping(self, model):
+        """Auto arena only engages where gather_batch can consume it."""
+        assert ContinuousBatchingScheduler(model).arena is not None
+        assert ContinuousBatchingScheduler(model, fused=False).arena is None
+        # explicit True still forces it (the fuzz matrix relies on this)
+        forced = ContinuousBatchingScheduler(model, fused=False, arena=True)
+        assert forced.arena is not None
+        assert ContinuousBatchingScheduler(model, arena=False).arena is None
+
+
+class TestSharedArena:
+    def test_one_pool_across_two_schedulers(self, model):
+        """An externally built arena can back several scheduler instances."""
+        arena = PagedKVArena(
+            model.config.n_layers, model.config.hidden_size, page_size=4
+        )
+        requests = [
+            Request(f"q{i}", prompt_tokens=[i + 1, i + 2], max_new_tokens=3)
+            for i in range(4)
+        ]
+        baseline, _, _ = _run(model, requests, 2, fused=True, arena=False)
+        for _ in range(2):  # the same pool drains and is reused run after run
+            sched = ContinuousBatchingScheduler(
+                model, max_active=2, arena=arena
+            )
+            sessions = sched.submit_many(requests)
+            sched.run()
+            assert [s.generated_tokens for s in sessions] == baseline
+            assert arena.stats.pages_in_use == 0
+        assert arena.stats.sessions_opened == 8
+
+    def test_model_without_config_falls_back_to_standalone(self):
+        class Stub:
+            vocab = 8
+
+            def new_cache(self):
+                return []
+
+            def forward(self, token_ids, caches=None, predictor=None):
+                from repro.model.transformer import ForwardStats
+
+                logits = np.zeros((len(token_ids), self.vocab))
+                logits[-1, (int(token_ids[-1]) + 1) % self.vocab] = 1.0
+                return logits, ForwardStats(tokens_processed=len(token_ids))
+
+        # default arena policy is auto: Stub has neither forward_batch nor a
+        # config, so the scheduler must stay on standalone caches -- even
+        # when the arena is forced
+        assert ContinuousBatchingScheduler(Stub(), max_active=2).arena is None
+        sched = ContinuousBatchingScheduler(Stub(), max_active=2, arena=True)
+        assert sched.arena is None
+        sched.submit(Request("r0", prompt_tokens=[1], max_new_tokens=2))
+        report = sched.run()
+        assert report.arena is None
