@@ -21,26 +21,42 @@ long context (``ARENA_CONTEXT`` tokens, ``B`` in {8, 16}):
   an incrementally maintained batch view with only the ``B`` new rows
   (``ArenaStats.gather_bytes_copied``).
 
-CI gates: tokens bit-identical everywhere, fused >= per-session at
-``B = 8``, arena >= stacking at ``B = 8``, exactly one BSTC decode per
-weight matrix, and the arena must copy >= ``ARENA_BYTES_GATE``x fewer KV
-bytes per step at the long context (per-step copy traffic no longer scales
-with context length).  Results are written to ``BENCH_serving.json`` at the
-repo root -- including a full scheduler run in the ``ServingReport.to_json``
+A third grid replays one bursty prioritized heavy-tail trace through the
+policy-driven :class:`ServingEngine` under the three shipped policy pairs
+(FCFS, priority, deadline) at ``B = 8`` slots, recording per-class p95
+latency, preemption and deadline-miss counts, and wall-clock tokens/sec.
+
+CI gates: tokens bit-identical everywhere (including the preemption-heavy
+policy runs, whose evicted sessions must resume bit-identically to their
+solo decode), fused >= per-session at ``B = 8``, arena >= stacking at
+``B = 8``, exactly one BSTC decode per weight matrix, the arena must copy
+>= ``ARENA_BYTES_GATE``x fewer KV bytes per step at the long context,
+``ServingEngine`` at FCFS must match the pre-policy scheduler's report
+bit-exactly and keep >= 0.8x of its wall-clock throughput, the priority
+policy must cut high-priority p95 latency strictly below FCFS on the bursty
+trace (with real preemptions), and the deadline policy must not miss more
+deadlines than FCFS.  Results are written to ``BENCH_serving.json`` at the
+repo root -- including a full engine run in the ``ServingReport.to_json``
 schema shared with ``examples/serving_simulation.py --json`` -- so the
 serving-performance trajectory is tracked from this PR on.
 """
 
 import json
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.engine import MCBPEngine
-from repro.model import QuantizedTransformer, TransformerModel, get_model_config
+from repro.model import QuantizedTransformer, TransformerModel, generate, get_model_config
 from repro.model.generation import IncrementalDecoder
-from repro.serve import ContinuousBatchingScheduler, PagedKVArena
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    PagedKVArena,
+    ServingEngine,
+    make_policies,
+)
 from repro.workloads import sample_requests
 
 from .conftest import print_result
@@ -56,6 +72,13 @@ ARENA_BATCHES = (8, 16)
 ARENA_CONTEXT = 512
 ARENA_STEPS = 16
 ARENA_BYTES_GATE = 5.0  # arena must copy >= 5x fewer KV bytes per step
+
+# policy grid: one bursty prioritized heavy-tail trace, replayed under the
+# three shipped policy pairs at B = GATED_BATCH slots
+POLICY_NAMES = ("fcfs", "priority", "deadline")
+POLICY_REQUESTS = 48
+POLICY_SEED = 29
+HIGH_PRIORITY = 2
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -150,6 +173,71 @@ def _arena_vs_stacking_row(model, batch):
     return row
 
 
+def _policy_trace(config):
+    """Bursty Pareto arrivals, 75/25 low/high priority, tight deadlines."""
+    return sample_requests(
+        POLICY_REQUESTS,
+        vocab_size=config.vocab_size,
+        mean_interarrival=0.25,
+        arrival_process="pareto",
+        arrival_shape=1.5,
+        priority_levels=(0, HIGH_PRIORITY),
+        priority_weights=(0.75, 0.25),
+        deadline_slack=(2, 8),
+        seed=POLICY_SEED,
+    )
+
+
+def _policy_rows(model):
+    """Replay one prioritized trace under fcfs/priority/deadline policies.
+
+    Latency metrics are step-based (deterministic); wall-clock tokens/sec is
+    recorded per policy for the trajectory.  Every run -- including the
+    preemption-heavy priority/deadline ones -- must reproduce each request's
+    solo-decode tokens exactly, which is the CI gate pinning that preempted
+    sessions resume bit-identically.
+    """
+    config = model.config
+    requests = _policy_trace(config)
+    reference = {
+        r.request_id: generate(
+            model, r.prompt_tokens, max_new_tokens=r.max_new_tokens
+        ).generated_tokens
+        for r in requests
+    }
+    rows = {}
+    for name in POLICY_NAMES:
+        admission, scheduling = make_policies(name)
+        engine = ServingEngine(
+            model,
+            max_active=GATED_BATCH,
+            admission=admission,
+            scheduling=scheduling,
+        )
+        handles = engine.submit_many(requests)
+        start = time.perf_counter()
+        report = engine.run()
+        elapsed = time.perf_counter() - start
+        for handle in handles:
+            assert handle.generated_tokens == reference[handle.request_id], (
+                f"{name} policy diverged from the solo reference for "
+                f"{handle.request_id} (preempted trace must be bit-identical)"
+            )
+        rows[name] = {
+            "steps": report.steps,
+            "throughput_tokens_per_step": report.throughput_tokens_per_step,
+            "wall_tokens_per_sec": report.total_tokens / elapsed,
+            "p95_latency_steps": report.latency_percentile(95),
+            "p95_high_priority": report.latency_percentile(
+                95, priority=HIGH_PRIORITY
+            ),
+            "p95_low_priority": report.latency_percentile(95, priority=0),
+            "preemptions": report.total_preemptions,
+            "deadline_misses": report.total_deadline_misses,
+        }
+    return rows
+
+
 def test_batched_decode_throughput(benchmark):
     model = _build_model()
     engine = MCBPEngine(group_size=4, weight_bits=8)
@@ -191,16 +279,41 @@ def test_batched_decode_throughput(benchmark):
     # long-context KV layout grid: paged arena vs per-stream re-stacking
     arena_rows = [_arena_vs_stacking_row(model, batch) for batch in ARENA_BATCHES]
 
-    # shared-format serving report: one fused scheduler run over a sampled
-    # request stream (the same schema serving_simulation.py --json emits)
+    # shared-format serving report: one fused engine run over a sampled
+    # request stream (the same schema serving_simulation.py --json emits),
+    # timed against the deprecated pre-policy front end on the same stream
     config = model.config
-    scheduler = ContinuousBatchingScheduler(model, max_active=GATED_BATCH)
-    scheduler.submit_many(
-        sample_requests(
-            16, vocab_size=config.vocab_size, mean_interarrival=0.5, seed=11
-        )
+    stream = sample_requests(
+        16, vocab_size=config.vocab_size, mean_interarrival=0.5, seed=11
     )
-    report = scheduler.run()
+
+    def _timed_run(make_engine):
+        best, report = float("inf"), None
+        for _ in range(REPEATS):
+            serving = make_engine()
+            serving.submit_many(stream)
+            start = time.perf_counter()
+            report = serving.run()
+            best = min(best, time.perf_counter() - start)
+        return report, report.total_tokens / best
+
+    report, fcfs_tps = _timed_run(
+        lambda: ServingEngine(model, max_active=GATED_BATCH)
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy_report, legacy_tps = _timed_run(
+            lambda: ContinuousBatchingScheduler(model, max_active=GATED_BATCH)
+        )
+    # the policy-driven engine at FCFS must *be* the old scheduler: the whole
+    # report (tokens, steps, metrics, arena counters) is bit-identical, so
+    # step-domain throughput cannot regress by construction
+    assert report.to_json() == legacy_report.to_json(), (
+        "ServingEngine(FCFS) diverged from ContinuousBatchingScheduler"
+    )
+
+    # policy grid: priority/deadline service under one bursty trace
+    policy_rows = _policy_rows(model)
 
     payload = {
         "benchmark": "batched_decode_throughput",
@@ -211,6 +324,14 @@ def test_batched_decode_throughput(benchmark):
         "bstc_decode_calls": int(engine.codec.decode_calls),
         "weight_matrices": n_matrices,
         "serving_report": report.to_json(),
+        "fcfs_engine_tokens_per_sec": fcfs_tps,
+        "old_scheduler_tokens_per_sec": legacy_tps,
+        "policies": {
+            "batch": GATED_BATCH,
+            "requests": POLICY_REQUESTS,
+            "high_priority_level": HIGH_PRIORITY,
+            "results": policy_rows,
+        },
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -234,6 +355,20 @@ def test_batched_decode_throughput(benchmark):
             f"bytes {r['kv_bytes_ratio']:5.1f}x  speed {r['speedup']:4.2f}x"
             for r in arena_rows
         )
+        + "\n".join(
+            [""]
+            + [
+                f"{name:>9}: {r['steps']:>4} steps  "
+                f"{r['throughput_tokens_per_step']:5.2f} tok/step  "
+                f"p95 hi {r['p95_high_priority']:6.1f}  "
+                f"lo {r['p95_low_priority']:6.1f}  "
+                f"preempt {r['preemptions']:>3}  "
+                f"misses {r['deadline_misses']:>3}"
+                for name, r in policy_rows.items()
+            ]
+        )
+        + f"\nFCFS engine {fcfs_tps:.1f} tok/s vs old scheduler "
+        f"{legacy_tps:.1f} tok/s"
         + f"\nBSTC decodes: {engine.codec.decode_calls} "
         f"(= {n_matrices} weight matrices)\nreport -> {BENCH_PATH.name}",
     )
@@ -256,3 +391,28 @@ def test_batched_decode_throughput(benchmark):
             f"{row['kv_bytes_ratio']:.1f}x below stacking "
             f"(gate {ARENA_BYTES_GATE}x)"
         )
+    # CI gate: the policy layer must not tax the old FCFS wall-clock path at
+    # B=8 (same machinery after the redesign; 0.8 keeps timer noise out)
+    assert fcfs_tps >= 0.8 * legacy_tps, (
+        f"policy-driven engine slower than the old scheduler at "
+        f"B={GATED_BATCH}: {fcfs_tps:.1f} vs {legacy_tps:.1f} tok/s"
+    )
+    # CI gate: priority service must demonstrably reorder the bursty trace --
+    # high-priority p95 latency strictly below FCFS, with real preemptions
+    # (all metrics are step-domain, so this is deterministic)
+    assert policy_rows["priority"]["preemptions"] > 0, (
+        "the policy trace no longer exercises preemption"
+    )
+    assert (
+        policy_rows["priority"]["p95_high_priority"]
+        < policy_rows["fcfs"]["p95_high_priority"]
+    ), (
+        "priority policy failed to cut high-priority p95 latency: "
+        f"{policy_rows['priority']['p95_high_priority']:.1f} vs FCFS "
+        f"{policy_rows['fcfs']['p95_high_priority']:.1f}"
+    )
+    # CI gate: deadline-aware service must not miss more deadlines than FCFS
+    assert (
+        policy_rows["deadline"]["deadline_misses"]
+        <= policy_rows["fcfs"]["deadline_misses"]
+    ), "deadline policy misses more deadlines than FCFS"

@@ -1,33 +1,40 @@
-"""Serving simulation: continuous batching over one shared MCBP engine.
+"""Serving simulation: policy-driven continuous batching over one MCBP engine.
 
 Demonstrates the batched serving layer end to end:
 
 1. sample a mixed request stream (Poisson arrivals over the paper's task mix,
    scaled down for the NumPy model) and run it through the
-   continuous-batching scheduler with >= 8 concurrent sessions, printing
+   :class:`ServingEngine` with >= 8 concurrent sessions, printing
    per-request latency/traffic and aggregate throughput;
-2. run the same stream through a quantised model bound to an
+2. replay one bursty heavy-tail (Pareto) trace with an 80/20 low/high
+   priority mix under all three shipped policy pairs -- FCFS, priority and
+   deadline -- showing how priority admission + preemption cut the
+   high-priority p95 latency while FCFS makes urgent requests wait behind
+   the burst, with identical tokens everywhere;
+3. run the same stream through a quantised model bound to an
    :class:`MCBPEngine` with **fused batched decode** over a shared
    **paged KV arena**: every engine step is a single quantised forward pass
    over the whole active batch, each layer's BSTC planes are decoded exactly
    once, session KV lives as fixed-size pages in one pool (freed pages
    recycle as requests finish), and the emitted tokens are bit-identical to
    per-session stepping over standalone caches;
-3. run a steady-state decode loop through an :class:`MCBPEngine` with the
+4. run a steady-state decode loop through an :class:`MCBPEngine` with the
    decoded-plane LRU cache and show that every layer is BSTC-decoded exactly
    once, no matter how many decode steps (or co-resident sessions) reuse it;
-4. print the analytical serving breakdown: how sharing decoded planes across
+5. print the analytical serving breakdown: how sharing decoded planes across
    sessions shrinks the decode-stage weight-loading component.
 
 Usage::
 
-    python examples/serving_simulation.py          # full demo
-    python examples/serving_simulation.py --json   # ServingReport as JSON
+    python examples/serving_simulation.py                    # full demo
+    python examples/serving_simulation.py --policy priority  # one policy
+    python examples/serving_simulation.py --json             # report JSON
 
-``--json`` emits only the scheduler report of step 1 in the JSON schema
-shared with ``benchmarks/test_batched_decode_throughput.py``
-(``ServingReport.to_json``), so scripts can consume either artefact
-uniformly.
+``--policy {fcfs,priority,deadline}`` runs only the policy comparison and
+prints the chosen policy's full per-request report.  ``--json`` emits only
+the scheduler report of step 1 in the JSON schema shared with
+``benchmarks/test_batched_decode_throughput.py`` (``ServingReport.to_json``),
+so scripts can consume either artefact uniformly.
 """
 
 import argparse
@@ -43,8 +50,10 @@ from repro.model import (
     TransformerModel,
     get_model_config,
 )
-from repro.serve import ContinuousBatchingScheduler
+from repro.serve import ServingEngine, make_policies
 from repro.workloads import sample_requests
+
+POLICY_NAMES = ("fcfs", "priority", "deadline")
 
 
 def simulate_traffic(n_requests: int = 24, max_active: int = 8, quiet: bool = False):
@@ -57,16 +66,76 @@ def simulate_traffic(n_requests: int = 24, max_active: int = 8, quiet: bool = Fa
         mean_interarrival=1.5,
         seed=11,
     )
-    scheduler = ContinuousBatchingScheduler(
-        model, max_active=max_active, predictor=predictor
-    )
-    scheduler.submit_many(requests)
-    report = scheduler.run()
+    engine = ServingEngine(model, max_active=max_active, predictor=predictor)
+    engine.submit_many(requests)
+    report = engine.run()
     if not quiet:
         print(f"--- continuous batching: {n_requests} requests, "
               f"{max_active} slots, BGPP attention ---")
         print(report.summary())
     return report
+
+
+def _bursty_prioritized_requests(vocab_size: int, n_requests: int = 32):
+    """One heavy-tail trace shared by every policy run: 80% bulk priority-0
+    requests, 20% interactive priority-2 requests with tight deadlines."""
+    return sample_requests(
+        n_requests,
+        vocab_size=vocab_size,
+        mean_interarrival=0.4,
+        arrival_process="pareto",
+        arrival_shape=1.5,  # heavy tail: dense bursts, long quiet stretches
+        priority_levels=(0, 2),
+        priority_weights=(0.8, 0.2),
+        deadline_slack=(2, 8),
+        seed=29,
+    )
+
+
+def policy_comparison(policy: str = None, n_requests: int = 32,
+                      max_active: int = 4) -> None:
+    """The same bursty trace under FCFS vs priority vs deadline policies."""
+    config = get_model_config("tiny")
+    model = TransformerModel(config, seed=0)
+    requests = _bursty_prioritized_requests(config.vocab_size, n_requests)
+    n_high = sum(1 for r in requests if r.priority > 0)
+
+    print(f"\n--- policy comparison: {n_requests} requests "
+          f"({n_high} high-priority), Pareto bursts, {max_active} slots ---")
+    header = (f"{'policy':>10} {'steps':>6} {'tok/step':>9} {'p95 all':>8} "
+              f"{'p95 hi':>7} {'p95 lo':>7} {'preempt':>8} {'misses':>7}")
+    print(header)
+    names = POLICY_NAMES if policy is None else (policy,)
+    baseline_tokens = None
+    chosen_report = None
+    for name in names:
+        admission, scheduling = make_policies(name)
+        engine = ServingEngine(
+            model, max_active=max_active,
+            admission=admission, scheduling=scheduling,
+        )
+        handles = engine.submit_many(requests)
+        report = engine.run()
+        tokens = [h.generated_tokens for h in handles]
+        if baseline_tokens is None:
+            baseline_tokens = tokens
+        else:
+            # policies reorder *service*, never change *content*
+            assert tokens == baseline_tokens, "policies must not change tokens"
+        print(f"{name:>10} {report.steps:>6} "
+              f"{report.throughput_tokens_per_step:>9.2f} "
+              f"{report.latency_percentile(95):>8.1f} "
+              f"{report.latency_percentile(95, priority=2):>7.1f} "
+              f"{report.latency_percentile(95, priority=0):>7.1f} "
+              f"{report.total_preemptions:>8} "
+              f"{report.total_deadline_misses:>7}")
+        chosen_report = report
+    if policy is not None:
+        print(f"\nfull report for --policy {policy}:")
+        print(chosen_report.summary())
+    else:
+        print("(preemption evicts a session's KV pages; it resumes later by "
+              "re-prefilling its tokens, bit-identical to an unpreempted run)")
 
 
 def fused_decode_demo(n_requests: int = 16, max_active: int = 8) -> None:
@@ -81,16 +150,16 @@ def fused_decode_demo(n_requests: int = 16, max_active: int = 8) -> None:
     )
 
     def run(fused: bool, arena: bool):
-        scheduler = ContinuousBatchingScheduler(
+        serving = ServingEngine(
             model, max_active=max_active, fused=fused, arena=arena
         )
-        sessions = scheduler.submit_many(requests)
-        report = scheduler.run()
-        return report, sessions
+        handles = serving.submit_many(requests)
+        report = serving.run()
+        return report, handles
 
-    fused_report, fused_sessions = run(fused=True, arena=True)
-    seq_report, seq_sessions = run(fused=False, arena=False)
-    for a, b in zip(fused_sessions, seq_sessions):
+    fused_report, fused_handles = run(fused=True, arena=True)
+    seq_report, seq_handles = run(fused=False, arena=False)
+    for a, b in zip(fused_handles, seq_handles):
         assert a.generated_tokens == b.generated_tokens, "fused decode must be bit-exact"
     n_matrices = len(model.quantized_weight_matrices())
     assert engine.codec.decode_calls == n_matrices, "planes must decode once per layer"
@@ -168,12 +237,22 @@ def main() -> None:
         help="emit only the traffic simulation's ServingReport as JSON "
         "(the schema shared with BENCH_serving.json)",
     )
+    parser.add_argument(
+        "--policy",
+        choices=POLICY_NAMES,
+        help="run only the policy comparison and print this policy's "
+        "full per-request report",
+    )
     args = parser.parse_args()
     if args.json:
         report = simulate_traffic(quiet=True)
         print(json.dumps(report.to_json(), indent=2))
         return
+    if args.policy:
+        policy_comparison(policy=args.policy)
+        return
     simulate_traffic()
+    policy_comparison()
     fused_decode_demo()
     steady_state_cache_demo()
     analytical_breakdown()

@@ -1,51 +1,86 @@
-"""Batched serving layer: continuous batching over one shared MCBP engine.
+"""Policy-driven batched serving layer over one shared MCBP engine.
 
 This package turns the single-stream functional reproduction into a
-multi-tenant serving simulator:
+multi-tenant serving simulator with a pluggable control plane:
 
 * :mod:`repro.serve.session` -- per-request state (KV caches, lifecycle
   timestamps, traffic counters) built on
-  :class:`~repro.model.generation.IncrementalDecoder`;
+  :class:`~repro.model.generation.IncrementalDecoder`, including the
+  preempt/resume state machine;
 * :mod:`repro.serve.kv_arena` -- a shared paged KV arena
   (:class:`PagedKVArena`): preallocated per-layer page pools, per-session
-  page tables, and an incrementally maintained batch view for attention;
-* :mod:`repro.serve.scheduler` -- a continuous-batching scheduler that admits,
-  steps and retires many sessions against one shared model, reporting
-  per-request latency, aggregate throughput and arena occupancy.
+  page tables, occupancy watermarks for admission control, and an
+  incrementally maintained batch view for attention;
+* :mod:`repro.serve.policies` -- the pluggable
+  :class:`AdmissionPolicy` / :class:`SchedulingPolicy` interfaces plus the
+  shipped FIFO / priority / deadline / arena-budget implementations;
+* :mod:`repro.serve.scheduler` -- the :class:`ServingEngine` facade (request
+  lifecycle: ``submit() -> RequestHandle``, ``cancel``, streaming and
+  completion callbacks, ``step``/``run``) wrapped around the batched
+  execution core, and the deprecated :class:`ContinuousBatchingScheduler`
+  shim.
 
-Decoding is *fused*: each engine step stacks the active sessions' tokens
+Execution is *fused*: each engine step stacks the active sessions' tokens
 into one ``(B, hidden)`` batch and models exposing ``forward_batch`` (the
 quantised transformer) run a single forward pass for the whole batch --
 one GEMM per weight matrix and one ragged batched attention per layer --
 with bit-identical tokens and statistics to per-session stepping.
 
 KV storage is *paged*: every session's per-layer keys/values live as
-fixed-size pages inside one :class:`PagedKVArena` (vLLM-style), with a
-per-session page table shared by all layers.  Batched attention consumes the
-arena through :meth:`PagedKVArena.gather_batch`, which keeps a per-layer
-padded batch view up to date by copying only the rows appended since the
-previous step -- ``O(B * hidden)`` bytes per step, independent of context
-length -- instead of re-stacking every session's whole history.  Finished
-sessions return their pages to the pool, so occupancy tracks live tokens,
-and the page-fault / occupancy / copy-traffic counters surface in
-:meth:`ServingReport.to_json`.  Combined with the engine's decoded-plane LRU
-cache (:class:`repro.core.engine.MCBPEngine`), each layer's BSTC decode
-*and* its GEMM launch are paid once per engine step rather than once per
-request, just as a compressed tile set is decoded once and reused across a
-large reconstruction.
+fixed-size pages inside one :class:`PagedKVArena` (vLLM-style), read by
+batched attention through an incrementally maintained view that copies only
+``O(B * hidden)`` bytes per step.  Finished *and preempted* sessions return
+their pages to the pool, so occupancy tracks live tokens and preemption is
+how priority/deadline policies reclaim KV budget for urgent work; the
+page-fault / occupancy / copy-traffic counters surface in
+:meth:`ServingReport.to_json` next to the per-policy preemption and
+deadline-miss counts.
+
+See ``src/repro/serve/README.md`` for the API guide and how to write a
+custom policy.
 """
 
 from .kv_arena import ArenaStats, PagedKVArena
-from .scheduler import ContinuousBatchingScheduler, RequestMetrics, ServingReport
+from .policies import (
+    AdmissionPolicy,
+    ArenaBudgetAdmission,
+    DeadlineAdmission,
+    DeadlinePolicy,
+    FCFSPolicy,
+    FIFOAdmission,
+    PriorityAdmission,
+    PriorityPolicy,
+    SchedulingPolicy,
+    make_policies,
+)
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    RequestHandle,
+    RequestMetrics,
+    ServingEngine,
+    ServingReport,
+)
 from .session import GenerationSession, Request, SessionState
 
 __all__ = [
+    "AdmissionPolicy",
+    "ArenaBudgetAdmission",
     "ArenaStats",
     "ContinuousBatchingScheduler",
+    "DeadlineAdmission",
+    "DeadlinePolicy",
+    "FCFSPolicy",
+    "FIFOAdmission",
     "GenerationSession",
     "PagedKVArena",
+    "PriorityAdmission",
+    "PriorityPolicy",
     "Request",
+    "RequestHandle",
     "RequestMetrics",
+    "SchedulingPolicy",
+    "ServingEngine",
     "ServingReport",
     "SessionState",
+    "make_policies",
 ]

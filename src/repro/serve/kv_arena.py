@@ -170,7 +170,12 @@ class PagedKVArena:
         ]
 
     def free(self, session_id: int) -> None:
-        """Return the session's pages to the free list."""
+        """Return the session's pages to the free list.
+
+        Called both when a session finishes and when the scheduling policy
+        *preempts* it -- a preempted request holds no pages while it waits,
+        and re-acquires fresh ones (through a new session) when it resumes.
+        """
         entry = self._sessions.pop(session_id)
         self._release_pages(entry)
         self.stats.sessions_freed += 1
@@ -193,6 +198,29 @@ class PagedKVArena:
             None if (c is not None and session_id in c["sids"]) else c
             for c in self._gather
         ]
+
+    # -- occupancy / admission-control helpers ---------------------------------
+
+    def pages_needed(self, n_tokens: int) -> int:
+        """Pages required to hold ``n_tokens`` KV rows of one session."""
+        if n_tokens <= 0:
+            return 0
+        return -(-int(n_tokens) // self.page_size)
+
+    def within_watermark(self, n_pages: int, watermark: float = 1.0) -> bool:
+        """Whether ``n_pages`` committed pages stay inside a capacity fraction.
+
+        ``n_pages`` should be the caller's *reservation total* (e.g. the sum
+        of every admitted session's full-lifetime page count, as
+        :class:`~repro.serve.policies.ArenaBudgetAdmission` tracks) -- not
+        current occupancy, which lags reality because pages only materialise
+        as prefill/decode appends rows.  ``watermark`` is a fraction of the
+        ``max_pages`` budget; unbounded arenas always fit (growth is their
+        policy).
+        """
+        if self.max_pages is None:
+            return True
+        return int(n_pages) <= int(self.max_pages * watermark)
 
     # -- appends ---------------------------------------------------------------
 

@@ -1,0 +1,388 @@
+"""Pluggable admission and scheduling policies for the serving engine.
+
+The serving control plane is split into two small interfaces so that
+request-lifecycle mechanics (owned by
+:class:`~repro.serve.scheduler.ServingEngine`) stay separate from *decisions*:
+
+* :class:`AdmissionPolicy` -- orders the ready queue (requests that have
+  arrived but hold no slot) and gates whether its head may take a free slot
+  right now.  Shipped: :class:`FIFOAdmission`, :class:`PriorityAdmission`,
+  :class:`DeadlineAdmission`, and :class:`ArenaBudgetAdmission`, which queues
+  requests instead of letting the paged KV arena grow past a configurable
+  watermark of its ``max_pages`` budget.
+* :class:`SchedulingPolicy` -- decides which active sessions to *preempt*
+  when more urgent work is waiting.  Shipped: :class:`FCFSPolicy` (never
+  preempts; with :class:`FIFOAdmission` it reproduces the pre-policy
+  scheduler bit-exactly), :class:`PriorityPolicy` (higher ``priority`` evicts
+  lower) and :class:`DeadlinePolicy` (earliest absolute deadline first).
+
+Both interfaces see :class:`~repro.serve.scheduler.RequestHandle` objects,
+which expose the immutable :class:`~repro.serve.session.Request`, the live
+session, and a monotonically increasing ``index`` (submission order) for
+deterministic tie-breaking.  All shipped policies derive their ordering keys
+from *static* request attributes only; combined with strict-inequality
+preemption this guarantees the engine cannot livelock -- the most urgent
+unfinished request is never preempted, so every step makes progress.
+
+Writing a custom policy
+-----------------------
+
+Subclass one of the two ABCs.  An admission policy needs
+``admission_key(handle)`` (smaller tuples admit first) and may override
+``may_admit(handle, engine)`` to gate on engine state (queue depths, arena
+occupancy via ``engine.arena``).  A scheduling policy needs
+``urgency_key(handle, step)`` and, if ``preemptive``, may tune
+``preempts(waiting, active, step)``; the default base-class
+``select_preemptions`` then evicts the least urgent active sessions for
+strictly more urgent waiting ones.  Keep keys static per request unless you
+also re-verify drain behaviour -- see ``src/repro/serve/README.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .scheduler import RequestHandle, ServingEngine
+
+__all__ = [
+    "AdmissionPolicy",
+    "FIFOAdmission",
+    "PriorityAdmission",
+    "DeadlineAdmission",
+    "ArenaBudgetAdmission",
+    "SchedulingPolicy",
+    "FCFSPolicy",
+    "PriorityPolicy",
+    "DeadlinePolicy",
+    "make_policies",
+]
+
+
+def _deadline_value(handle: "RequestHandle") -> float:
+    """Absolute deadline step of a handle's request (inf when none)."""
+    deadline = handle.request.deadline_step
+    return math.inf if deadline is None else float(deadline)
+
+
+# Shared ordering keys.  Each discipline's admission policy and scheduling
+# policy MUST sort by the same key -- the engine's preemption bookkeeping
+# (victims paired against the most urgent waiting requests, which then take
+# the freed slots in admission order) relies on that alignment -- so both
+# hierarchies reference these functions instead of re-implementing tuples.
+
+
+def _arrival_key(handle: "RequestHandle") -> Tuple:
+    return (handle.request.arrival_step, handle.index)
+
+
+def _priority_key(handle: "RequestHandle") -> Tuple:
+    return (-handle.request.priority,) + _arrival_key(handle)
+
+
+def _edf_key(handle: "RequestHandle") -> Tuple:
+    return (_deadline_value(handle),) + _arrival_key(handle)
+
+
+# -- admission ----------------------------------------------------------------
+
+
+class AdmissionPolicy(ABC):
+    """Orders the ready queue and gates admissions into free batch slots.
+
+    The engine keeps its ready queue as a heap keyed by
+    :meth:`admission_key`; each step it pops eligible handles in key order
+    into free slots, asking :meth:`may_admit` before each pop.  Admission is
+    head-of-line: when the best-ranked handle is refused, the engine stops
+    admitting for this step rather than skipping ahead (no starvation of the
+    queue head by smaller requests behind it).
+    """
+
+    name = "admission"
+
+    @abstractmethod
+    def admission_key(self, handle: "RequestHandle") -> Tuple:
+        """Sort key of one ready handle; the smallest key admits first."""
+
+    def may_admit(self, handle: "RequestHandle", engine: "ServingEngine") -> bool:
+        """Resource gate consulted right before ``handle`` takes a slot."""
+        return True
+
+    def check_submit(self, request, engine: "ServingEngine") -> None:
+        """Validate a request at submit time; raise ``ValueError`` to reject.
+
+        Runs inside :meth:`ServingEngine.submit` before any engine state is
+        touched, so a policy can refuse requests that could *never* be
+        served (rather than queueing them forever or crashing mid-run).
+        The default accepts everything.
+        """
+
+
+class FIFOAdmission(AdmissionPolicy):
+    """Earliest arrival first, submission order on ties (the classic queue)."""
+
+    name = "fifo"
+
+    def admission_key(self, handle: "RequestHandle") -> Tuple:
+        return _arrival_key(handle)
+
+
+class PriorityAdmission(AdmissionPolicy):
+    """Highest ``Request.priority`` first; FIFO within a priority class."""
+
+    name = "priority"
+
+    def admission_key(self, handle: "RequestHandle") -> Tuple:
+        return _priority_key(handle)
+
+
+class DeadlineAdmission(AdmissionPolicy):
+    """Earliest absolute deadline first; deadline-free requests go last."""
+
+    name = "deadline"
+
+    def admission_key(self, handle: "RequestHandle") -> Tuple:
+        return _edf_key(handle)
+
+
+class ArenaBudgetAdmission(AdmissionPolicy):
+    """Queue requests instead of growing the KV arena past a watermark.
+
+    Wraps an ``inner`` ordering policy (FIFO by default) and reserves, for
+    every admitted request, its *whole lifetime* of KV rows -- ``prompt +
+    max_new_tokens - 1`` tokens, the exact row count an unpreempted run
+    appends.  A candidate is admitted only while the sum of all active
+    reservations plus its own stays within ``watermark * max_pages``.
+    Reserving lifetimes (rather than reading current occupancy, which lags:
+    pages materialise at prefill and grow every decode step) means admitted
+    requests can never exhaust the pool mid-decode, so the engine trades
+    queueing delay for a hard occupancy bound (the ROADMAP's "reject/queue
+    when the pool is near ``max_pages`` instead of growing or raising").
+
+    Engines without an arena, arenas without a ``max_pages`` budget, and an
+    idle engine (nothing active -- refusing then would deadlock the queue)
+    admit unconditionally.
+
+    Combined with a *preemptive* scheduling policy (not one of the shipped
+    pairs), the watermark can transiently overshoot: admissions are gated
+    while evictions are still tentative, and an eviction rolled back after a
+    partial admission restores its reservation.  The ``max_pages`` hard
+    bound itself is never at stake -- reservations are bookkeeping, and the
+    pool still grows page by page only as rows are appended.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[AdmissionPolicy] = None,
+        watermark: float = 1.0,
+    ) -> None:
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError("watermark must be in (0, 1]")
+        self.inner = inner if inner is not None else FIFOAdmission()
+        self.watermark = watermark
+
+    @property
+    def name(self) -> str:
+        return f"arena-budget({self.inner.name})"
+
+    def admission_key(self, handle: "RequestHandle") -> Tuple:
+        return self.inner.admission_key(handle)
+
+    @staticmethod
+    def _request_pages(arena, request) -> int:
+        # early EOS only under-runs this, so the reservation stays safe
+        return arena.pages_needed(
+            len(request.prompt_tokens) + request.max_new_tokens - 1
+        )
+
+    @classmethod
+    def _lifetime_pages(cls, arena, handle: "RequestHandle") -> int:
+        return cls._request_pages(arena, handle.request)
+
+    def check_submit(self, request, engine: "ServingEngine") -> None:
+        """Reject requests whose lifetime could never fit ``max_pages``.
+
+        Without this, such a request would wait until the engine idles, be
+        force-admitted, and crash the whole run with ``arena exhausted``
+        mid-prefill -- rejecting it up front with a clear error keeps the
+        queue serviceable.
+        """
+        self.inner.check_submit(request, engine)
+        arena = engine.arena
+        if arena is None or arena.max_pages is None:
+            return
+        needed = self._request_pages(arena, request)
+        if needed > arena.max_pages:
+            raise ValueError(
+                f"request {request.request_id!r} needs {needed} arena pages "
+                f"for its lifetime ({len(request.prompt_tokens)} prompt + "
+                f"{request.max_new_tokens} new tokens), over the max_pages "
+                f"budget ({arena.max_pages}); it can never be admitted"
+            )
+
+    def may_admit(self, handle: "RequestHandle", engine: "ServingEngine") -> bool:
+        arena = engine.arena
+        if arena is None or arena.max_pages is None:
+            return True
+        if not self.inner.may_admit(handle, engine):
+            return False
+        if engine.n_active == 0:
+            return True  # forced progress: an empty engine must not starve
+        reserved = sum(
+            self._lifetime_pages(arena, h) for h in engine.active_handles
+        )
+        return arena.within_watermark(
+            reserved + self._lifetime_pages(arena, handle),
+            watermark=self.watermark,
+        )
+
+
+# -- scheduling ---------------------------------------------------------------
+
+
+class SchedulingPolicy(ABC):
+    """Decides service urgency and preemption among admitted sessions.
+
+    Every active session decodes each step (continuous batching); the lever a
+    scheduling policy holds is *eviction*: :meth:`select_preemptions` names
+    active sessions to preempt so that strictly more urgent waiting requests
+    can take their slots (and their arena pages) this very step.
+
+    The engine consults :meth:`select_preemptions` only when
+    :attr:`preemptive` is true, and treats the selection as *tentative*: a
+    victim is preempted for real only if the subsequent admission pass
+    actually uses its evicted capacity; otherwise it keeps its slot and KV
+    untouched (so a selection wasted on an admission-gated candidate costs
+    nothing).
+    """
+
+    name = "scheduling"
+    preemptive = False
+
+    @abstractmethod
+    def urgency_key(self, handle: "RequestHandle", step: int) -> Tuple:
+        """Service-urgency key (smaller = more urgent, never preempted first)."""
+
+    def preempts(
+        self, waiting: "RequestHandle", active: "RequestHandle", step: int
+    ) -> bool:
+        """Whether ``waiting`` is urgent enough to evict ``active``.
+
+        The default is a strict key comparison; policies may loosen it (e.g.
+        compare only the priority class) to avoid churn between requests that
+        tie on the attribute that matters.
+        """
+        return self.urgency_key(waiting, step) < self.urgency_key(active, step)
+
+    def select_preemptions(
+        self,
+        ready: Sequence["RequestHandle"],
+        active: Sequence["RequestHandle"],
+        free_slots: int,
+        step: int,
+    ) -> List["RequestHandle"]:
+        """Pick the active sessions to evict for this step's admissions.
+
+        The most urgent waiting handles first absorb any free slots; each
+        one beyond that evicts the least urgent remaining active session iff
+        :meth:`preempts` holds strictly.  Victims are returned most-evictable
+        first; the engine releases their pages before running admission, so
+        the freed slots (and KV budget) are taken in the same step.
+        """
+        if not self.preemptive or not ready or not active:
+            return []
+        waiting = sorted(ready, key=lambda h: self.urgency_key(h, step))
+        survivors = sorted(active, key=lambda h: self.urgency_key(h, step))
+        victims: List["RequestHandle"] = []
+        spare = free_slots
+        for candidate in waiting:
+            if spare > 0:
+                spare -= 1  # a free slot serves this arrival without eviction
+                continue
+            if not survivors:
+                break
+            if self.preempts(candidate, survivors[-1], step):
+                victims.append(survivors.pop())
+                # the freed slot is consumed by ``candidate`` itself
+            else:
+                break
+        return victims
+
+
+class FCFSPolicy(SchedulingPolicy):
+    """First come, first served; never preempts.
+
+    With :class:`FIFOAdmission` this reproduces the pre-policy
+    ``ContinuousBatchingScheduler`` bit-exactly (tokens, metrics and arena
+    counters), which the golden and fuzz suites pin.
+    """
+
+    name = "fcfs"
+    preemptive = False
+
+    def urgency_key(self, handle: "RequestHandle", step: int) -> Tuple:
+        return _arrival_key(handle)
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Strict priority service: higher ``Request.priority`` evicts lower.
+
+    Preemption compares *priority classes only* -- a waiting request must
+    carry strictly higher priority than the victim, so equal-priority
+    requests never churn each other's KV.  Within a class, service order is
+    FIFO via the urgency key.
+    """
+
+    name = "priority"
+    preemptive = True
+
+    def urgency_key(self, handle: "RequestHandle", step: int) -> Tuple:
+        return _priority_key(handle)
+
+    def preempts(
+        self, waiting: "RequestHandle", active: "RequestHandle", step: int
+    ) -> bool:
+        return waiting.request.priority > active.request.priority
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first service with deadline-driven preemption.
+
+    Requests without a deadline are served last and preempted first.  A
+    waiting request evicts an active one only when its absolute deadline is
+    strictly earlier, so identical deadlines never ping-pong.
+    """
+
+    name = "deadline"
+    preemptive = True
+
+    def urgency_key(self, handle: "RequestHandle", step: int) -> Tuple:
+        return _edf_key(handle)
+
+    def preempts(
+        self, waiting: "RequestHandle", active: "RequestHandle", step: int
+    ) -> bool:
+        return _deadline_value(waiting) < _deadline_value(active)
+
+
+def make_policies(name: str) -> Tuple[AdmissionPolicy, SchedulingPolicy]:
+    """Admission/scheduling pair for a named serving discipline.
+
+    ``"fcfs"`` -> (:class:`FIFOAdmission`, :class:`FCFSPolicy`);
+    ``"priority"`` -> (:class:`PriorityAdmission`, :class:`PriorityPolicy`);
+    ``"deadline"`` -> (:class:`DeadlineAdmission`, :class:`DeadlinePolicy`).
+    The pairs keep the admission order aligned with the service order, which
+    is what ``examples/serving_simulation.py --policy`` and the serving
+    benchmark use.
+    """
+    pairs = {
+        "fcfs": (FIFOAdmission, FCFSPolicy),
+        "priority": (PriorityAdmission, PriorityPolicy),
+        "deadline": (DeadlineAdmission, DeadlinePolicy),
+    }
+    if name not in pairs:
+        raise KeyError(f"unknown policy {name!r}; available: {sorted(pairs)}")
+    admission_cls, scheduling_cls = pairs[name]
+    return admission_cls(), scheduling_cls()

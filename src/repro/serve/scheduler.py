@@ -1,66 +1,104 @@
-"""Continuous-batching scheduler multiplexing sessions through one model.
+"""Policy-driven serving engine: batched execution core + request lifecycle.
 
-The scheduler advances simulated time in *engine steps*.  Each step it
+:class:`ServingEngine` owns the request lifecycle -- ``submit() ->``
+:class:`RequestHandle` (with per-request streaming/completion callbacks),
+``cancel()``, ``step()``/``run()`` -- and the batched execution core, while
+delegating every *decision* to two pluggable interfaces from
+:mod:`repro.serve.policies`: an
+:class:`~repro.serve.policies.AdmissionPolicy` (which arrived request takes a
+free slot, and whether the KV arena can afford it) and a
+:class:`~repro.serve.policies.SchedulingPolicy` (which active sessions to
+preempt for more urgent work).
 
-1. admits arrived requests, earliest arrival first (submission order breaks
-   ties), until the active set holds ``max_active`` sessions -- an admission
-   runs the request's prefill and emits its first token;
-2. advances every other active session by one token through a **single fused
+Each engine step:
+
+1. moves arrived requests into the ready queue (ordered by the admission
+   policy's key);
+2. asks the scheduling policy for **preemptions**: each victim releases its
+   arena pages immediately and re-enters the ready queue with only its
+   generated-token snapshot (resume re-prefills, bit-identical to an
+   unpreempted run);
+3. admits ready requests into free slots, earliest admission-key first,
+   gated per-handle by the admission policy -- an admission runs the
+   request's prefill (or a resumed request's re-prefill) and emits a token;
+4. advances every other active session by one token through a **single fused
    decode pass**: the sessions' current tokens are stacked into a
    ``(B, hidden)`` batch and models exposing ``forward_batch`` (e.g.
    :class:`~repro.model.transformer.QuantizedTransformer`) run one quantised
    forward per step for the whole batch -- one GEMM per weight matrix and one
-   ragged batched attention per layer -- instead of ``B`` separate
-   ``model.forward`` calls.  Models without a fused path fall back to
-   per-session stepping with identical results;
-3. retires finished sessions, freeing their slots -- and their KV arena
+   ragged batched attention per layer.  Models without a fused path fall back
+   to per-session stepping with identical results;
+5. retires finished sessions, freeing their slots -- and their KV arena
    pages -- for the next step.
 
 Because every session shares one model -- and, when the model is bound to an
 :class:`repro.core.engine.MCBPEngine`, one decoded-plane cache -- each
 layer's BSTC decode *and* its GEMM launch are paid once per step instead of
-once per session, which is the serving-side analogue of BRCR/BSTC amortising
-bit-level work across a whole weight matrix.  Session KV lives in a shared
+once per session.  Session KV lives in a shared
 :class:`~repro.serve.kv_arena.PagedKVArena` by default, so each decode
 step's batched attention reads the paged pool through an incrementally
 maintained view (O(B) copy bytes per step) instead of re-stacking every
 session's full context.
 
 The result of a run is a :class:`ServingReport` with per-request queueing
-delay, time-to-first-token, end-to-end latency and attention-traffic volume,
-plus aggregate throughput; :meth:`ServingReport.to_json` /
-:meth:`ServingReport.from_json` round-trip the report through the JSON
-format shared with the serving benchmarks.
+delay, time-to-first-token, end-to-end latency, preemption and deadline-miss
+counts, plus aggregate throughput and a per-policy metrics block;
+:meth:`ServingReport.to_json` / :meth:`ServingReport.from_json` round-trip
+the report through the JSON format shared with the serving benchmarks.
+
+:class:`ContinuousBatchingScheduler` remains as a deprecated shim: it is a
+``ServingEngine`` pinned to FIFO admission + FCFS scheduling (bit-identical
+to the pre-policy scheduler) whose ``submit`` returns the raw
+:class:`~repro.serve.session.GenerationSession` for source compatibility.
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..model.generation import KeyPredictor
 from .kv_arena import PagedKVArena
-from .session import GenerationSession, Request, RequestMetrics
+from .policies import (
+    AdmissionPolicy,
+    FCFSPolicy,
+    FIFOAdmission,
+    SchedulingPolicy,
+)
+from .session import GenerationSession, Request, RequestMetrics, SessionState
 
-__all__ = ["RequestMetrics", "ServingReport", "ContinuousBatchingScheduler"]
+__all__ = [
+    "RequestMetrics",
+    "RequestHandle",
+    "ServingReport",
+    "ServingEngine",
+    "ContinuousBatchingScheduler",
+]
+
+TokenCallback = Callable[["RequestHandle", int, int], None]
+CompleteCallback = Callable[["RequestHandle", RequestMetrics], None]
 
 
 @dataclass
 class ServingReport:
-    """Aggregate outcome of a scheduler run.
+    """Aggregate outcome of an engine run.
 
     ``arena`` carries the KV arena's occupancy / paging / copy-traffic
     counters (:meth:`repro.serve.kv_arena.ArenaStats.to_json`) when the run
-    used one, ``None`` otherwise.
+    used one, ``None`` otherwise.  ``policy`` is the per-policy metrics
+    block: which admission/scheduling policies ran plus their aggregate
+    preemption / deadline-miss / cancellation counts.
     """
 
     steps: int
     requests: List[RequestMetrics] = field(default_factory=list)
     max_concurrency: int = 0
     arena: Optional[dict] = None
+    policy: Optional[dict] = None
 
     @property
     def total_tokens(self) -> int:
@@ -70,10 +108,14 @@ class ServingReport:
     def throughput_tokens_per_step(self) -> float:
         return self.total_tokens / self.steps if self.steps else 0.0
 
-    def latency_percentile(self, q: float) -> float:
-        if not self.requests:
+    def latency_percentile(self, q: float, priority: Optional[int] = None) -> float:
+        """Latency percentile over all requests, or one priority class."""
+        pool = self.requests
+        if priority is not None:
+            pool = [r for r in pool if r.priority == priority]
+        if not pool:
             return 0.0
-        return float(np.percentile([r.latency_steps for r in self.requests], q))
+        return float(np.percentile([r.latency_steps for r in pool], q))
 
     @property
     def mean_latency_steps(self) -> float:
@@ -86,6 +128,14 @@ class ServingReport:
         if not self.requests:
             return 0.0
         return float(np.mean([r.queue_delay_steps for r in self.requests]))
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(r.preemptions for r in self.requests)
+
+    @property
+    def total_deadline_misses(self) -> int:
+        return sum(r.deadline_misses for r in self.requests)
 
     def to_json(self) -> dict:
         """JSON-serialisable dict: stored fields plus derived aggregates.
@@ -105,22 +155,31 @@ class ServingReport:
             "p95_latency_steps": self.latency_percentile(95),
             "mean_queue_delay_steps": self.mean_queue_delay_steps,
             "arena": self.arena,
+            "policy": self.policy,
             "requests": [asdict(r) for r in self.requests],
         }
 
     @classmethod
     def from_json(cls, payload: dict) -> "ServingReport":
-        """Rebuild a report from :meth:`to_json` output (derived keys ignored)."""
+        """Rebuild a report from :meth:`to_json` output.
+
+        Unknown keys are ignored at both the top level and inside each
+        request entry, and stored fields absent from the payload fall back
+        to their defaults -- so reports written by newer code (additional
+        per-policy metrics blocks, new per-request counters) and by older
+        code (pre-arena, pre-policy payloads) both load cleanly.
+        """
         stored = {f for f in RequestMetrics.__dataclass_fields__}
         requests = [
             RequestMetrics(**{k: v for k, v in entry.items() if k in stored})
-            for entry in payload["requests"]
+            for entry in payload.get("requests", [])
         ]
         return cls(
-            steps=int(payload["steps"]),
-            max_concurrency=int(payload["max_concurrency"]),
+            steps=int(payload.get("steps", 0)),
+            max_concurrency=int(payload.get("max_concurrency", 0)),
             requests=requests,
             arena=payload.get("arena"),
+            policy=payload.get("policy"),
         )
 
     def summary(self) -> str:
@@ -142,6 +201,17 @@ class ServingReport:
             f"p95_latency={self.latency_percentile(95):.1f} "
             f"peak_concurrency={self.max_concurrency}"
         )
+        if self.policy is not None:
+            # .get(): from_json accepts partial policy blocks from other
+            # writers, so summary() must not hard-require every key
+            p = self.policy
+            lines.append(
+                f"policy: admission={p.get('admission', '?')} "
+                f"scheduling={p.get('scheduling', '?')} "
+                f"preemptions={p.get('preemptions', 0)} "
+                f"deadline_misses={p.get('deadline_misses', 0)} "
+                f"cancelled={p.get('cancelled', 0)}"
+            )
         if self.arena is not None:
             a = self.arena
             lines.append(
@@ -155,7 +225,68 @@ class ServingReport:
         return "\n".join(lines)
 
 
-class ContinuousBatchingScheduler:
+class RequestHandle:
+    """The caller's view of one submitted request.
+
+    Returned by :meth:`ServingEngine.submit`; exposes the immutable request,
+    live state and generated tokens, and carries the optional per-request
+    callbacks (``on_token`` fires for every emitted token, ``on_complete``
+    once with the final :class:`RequestMetrics`).  ``index`` is the
+    submission sequence number policies use as a deterministic tie-breaker.
+    """
+
+    __slots__ = ("session", "index", "on_token", "on_complete", "cancelled")
+
+    def __init__(
+        self,
+        session: GenerationSession,
+        index: int,
+        on_token: Optional[TokenCallback] = None,
+        on_complete: Optional[CompleteCallback] = None,
+    ) -> None:
+        self.session = session
+        self.index = index
+        self.on_token = on_token
+        self.on_complete = on_complete
+        self.cancelled = False
+
+    @property
+    def request(self) -> Request:
+        return self.session.request
+
+    @property
+    def request_id(self) -> str:
+        return self.session.request.request_id
+
+    @property
+    def state(self) -> SessionState:
+        return self.session.state
+
+    @property
+    def generated_tokens(self) -> List[int]:
+        return self.session.generated_tokens
+
+    @property
+    def preemptions(self) -> int:
+        return self.session.preemptions
+
+    @property
+    def done(self) -> bool:
+        """Terminal: the request finished or was cancelled."""
+        return self.session.is_finished or self.cancelled
+
+    def metrics(self) -> RequestMetrics:
+        """Final metrics of the finished request (raises until then)."""
+        return self.session.to_metrics()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestHandle({self.request_id!r}, state={self.state.value}, "
+            f"tokens={len(self.generated_tokens)})"
+        )
+
+
+class ServingEngine:
     """Multiplexes many generation sessions through one shared model.
 
     Parameters
@@ -186,9 +317,21 @@ class ContinuousBatchingScheduler:
         there.  ``True`` forces the arena (models without a ``config`` still
         fall back), ``False`` disables it, and passing a
         :class:`PagedKVArena` instance uses it directly (sharing one pool
-        across several schedulers is allowed).
+        across several engines is allowed).
     page_size:
-        Tokens per arena page when the scheduler builds the arena itself.
+        Tokens per arena page when the engine builds the arena itself.
+    max_pages:
+        Hard page budget of the self-built arena (``None`` = unbounded,
+        geometric growth).  Set it when pairing the engine with
+        :class:`~repro.serve.policies.ArenaBudgetAdmission`, whose watermark
+        gate is relative to this bound -- with an unbounded arena the gate
+        has nothing to enforce and admits everything.
+    admission:
+        :class:`~repro.serve.policies.AdmissionPolicy` ordering and gating
+        the ready queue; defaults to FIFO.
+    scheduling:
+        :class:`~repro.serve.policies.SchedulingPolicy` deciding preemption;
+        defaults to FCFS (never preempts).
     """
 
     def __init__(
@@ -199,6 +342,9 @@ class ContinuousBatchingScheduler:
         fused: bool = True,
         arena=None,
         page_size: int = 32,
+        max_pages: Optional[int] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        scheduling: Optional[SchedulingPolicy] = None,
     ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
@@ -206,6 +352,8 @@ class ContinuousBatchingScheduler:
         self.max_active = max_active
         self.predictor = predictor
         self.fused = fused
+        self.admission = admission if admission is not None else FIFOAdmission()
+        self.scheduling = scheduling if scheduling is not None else FCFSPolicy()
         config = getattr(model, "config", None)
         if arena is None:
             arena = bool(fused and hasattr(model, "forward_batch"))
@@ -217,104 +365,229 @@ class ContinuousBatchingScheduler:
                     n_layers=config.n_layers,
                     hidden_size=config.hidden_size,
                     page_size=page_size,
+                    initial_pages=(
+                        64 if max_pages is None else min(64, max_pages)
+                    ),
+                    max_pages=max_pages,
                 )
         elif arena is False:
             arena = None
         self.arena = arena
         self.last_step_stats: Optional[Dict[str, int]] = None
         self.current_step = 0
-        # min-heap keyed by (arrival_step, submission index): earliest arrival
-        # first, submission order on ties, O(log n) per admission
-        self._queue: List[Tuple[int, int, GenerationSession]] = []
+        # arrivals still in the future: min-heap keyed by (arrival_step,
+        # submission index) so each step drains exactly the arrived prefix
+        self._pending: List[Tuple[int, int, RequestHandle]] = []
+        # arrived but unadmitted: min-heap keyed by the admission policy's
+        # key (submission index breaks exact ties deterministically)
+        self._ready: List[Tuple[Tuple, int, RequestHandle]] = []
         self._request_ids: set = set()
         self._submitted = 0
-        self._active: List[GenerationSession] = []
-        self._finished: List[GenerationSession] = []
+        self._queued_count = 0  # non-cancelled handles across both heaps
+        self._active: List[RequestHandle] = []
+        self._finished: List[RequestHandle] = []
+        self._cancelled: List[RequestHandle] = []
         self._max_concurrency = 0
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, request: Request) -> GenerationSession:
+    def submit(
+        self,
+        request: Request,
+        on_token: Optional[TokenCallback] = None,
+        on_complete: Optional[CompleteCallback] = None,
+    ) -> RequestHandle:
+        """Queue one request; returns its :class:`RequestHandle`.
+
+        Raises ``ValueError`` for duplicate request ids and for requests the
+        admission policy rejects outright (``check_submit``), e.g. one whose
+        KV lifetime could never fit the arena's ``max_pages`` budget.
+        """
         # step() keys its emitted-token dict by request_id, so ids must be
         # unique or one session's tokens would silently shadow another's
         if request.request_id in self._request_ids:
             raise ValueError(f"duplicate request_id {request.request_id!r}")
+        self.admission.check_submit(request, self)
         self._request_ids.add(request.request_id)
         session = GenerationSession(
             request, self.model, predictor=self.predictor, arena=self.arena
         )
-        heapq.heappush(self._queue, (request.arrival_step, self._submitted, session))
+        handle = RequestHandle(
+            session, self._submitted, on_token=on_token, on_complete=on_complete
+        )
+        heapq.heappush(
+            self._pending, (request.arrival_step, handle.index, handle)
+        )
         self._submitted += 1
-        return session
+        self._queued_count += 1
+        return handle
 
-    def submit_many(self, requests: Iterable[Request]) -> List[GenerationSession]:
+    def submit_many(self, requests: Iterable[Request]) -> List[RequestHandle]:
         return [self.submit(r) for r in requests]
+
+    def cancel(self, handle: RequestHandle) -> bool:
+        """Abort a request; frees its KV immediately.  False once terminal.
+
+        Queued and preempted requests are dropped lazily from their heaps;
+        an active request leaves the batch before the next step.  Cancelled
+        requests are excluded from :meth:`report`'s per-request metrics but
+        counted in its policy block.
+        """
+        if handle.cancelled or handle.session.is_finished:
+            return False
+        if handle in self._active:
+            self._active.remove(handle)
+        else:
+            # queued or preempted: it sits in one of the heaps (dropped
+            # lazily on pop), so it leaves the live-queue count now
+            self._queued_count -= 1
+        handle.session.cancel()
+        handle.cancelled = True
+        self._cancelled.append(handle)
+        return True
 
     @property
     def n_queued(self) -> int:
-        return len(self._queue)
+        return self._queued_count
 
     @property
     def n_active(self) -> int:
         return len(self._active)
 
     @property
+    def active_handles(self) -> Tuple[RequestHandle, ...]:
+        """The handles currently holding batch slots (policies read this)."""
+        return tuple(self._active)
+
+    @property
     def n_finished(self) -> int:
         return len(self._finished)
 
     @property
+    def n_cancelled(self) -> int:
+        return len(self._cancelled)
+
+    @property
     def has_work(self) -> bool:
-        return bool(self._queue or self._active)
+        return bool(self._active) or self.n_queued > 0
 
     # -- stepping --------------------------------------------------------------
+
+    def _push_ready(self, handle: RequestHandle) -> None:
+        key = self.admission.admission_key(handle)
+        heapq.heappush(self._ready, (key, handle.index, handle))
 
     def step(self) -> Dict[str, int]:
         """Advance one engine step; returns ``{request_id: emitted_token}``."""
         emitted: Dict[str, int] = {}
         step = self.current_step
 
-        # decode the sessions that were already active before admissions, in
-        # admission order (continuous batching: old and new requests share
-        # the same step)
-        decoding = list(self._active)
+        # arrivals: everything due this step joins the ready queue in the
+        # admission policy's order (cancelled handles are dropped lazily)
+        while self._pending and self._pending[0][0] <= step:
+            _, _, handle = heapq.heappop(self._pending)
+            if handle.cancelled:
+                continue
+            self._push_ready(handle)
 
-        # earliest-arrival-first admission into free slots (submission order
-        # breaks ties, so arrival-sorted streams degenerate to plain FIFO)
+        # preemption (tentative): the scheduling policy may evict active
+        # sessions for strictly more urgent ready requests.  Victims leave
+        # the batch *before* admission runs so the gate sees their slots and
+        # arena reservations as free, but they are only preempted for real
+        # (KV released, re-queued) once an admission actually consumes the
+        # evicted capacity -- a refused candidate must never cost a victim
+        # its prefill/decode progress
+        pre_active = list(self._active)
+        victims: List[RequestHandle] = []
+        if self.scheduling.preemptive and self._ready:
+            ready_handles = [h for *_, h in self._ready if not h.cancelled]
+            victims = self.scheduling.select_preemptions(
+                ready_handles, pre_active, self.max_active - len(pre_active), step
+            )
+            for victim in victims:
+                self._active.remove(victim)
+
+        # admission into free slots, best admission key first; head-of-line:
+        # a refused head (e.g. arena budget) stops admission for this step
         free = self.max_active - len(self._active)
-        admitted: List[GenerationSession] = []
-        while free > 0 and self._queue and self._queue[0][0] <= step:
-            _, _, session = heapq.heappop(self._queue)
-            self._active.append(session)
-            admitted.append(session)
+        admitted: List[RequestHandle] = []
+        while free > 0 and self._ready:
+            _, _, handle = self._ready[0]
+            if handle.cancelled:
+                heapq.heappop(self._ready)  # counted out when cancelled
+                continue
+            if not self.admission.may_admit(handle, self):
+                break
+            heapq.heappop(self._ready)
+            self._active.append(handle)
+            admitted.append(handle)
+            self._queued_count -= 1
             free -= 1
+
+        # commit or roll back the evictions: only as many victims stay
+        # preempted as the admissions actually needed beyond the slots that
+        # were already free; the rest rejoin the batch untouched
+        if victims:
+            used = max(0, len(admitted) - (self.max_active - len(pre_active)))
+            restored, victims = victims[used:], victims[:used]
+            if restored:
+                victim_ids = set(map(id, victims))
+                self._active = [
+                    h for h in pre_active if id(h) not in victim_ids
+                ] + admitted
+            for victim in victims:
+                victim.session.preempt(step)
+                self._push_ready(victim)
+                self._queued_count += 1
+
+        # decode the sessions that kept their slots, in admission order
+        # (continuous batching: old and new requests share the same step)
+        evicted_ids = set(map(id, victims))
+        decoding = [h for h in pre_active if id(h) not in evicted_ids]
 
         self._max_concurrency = max(self._max_concurrency, len(self._active))
 
-        for session in admitted:
-            emitted[session.request.request_id] = session.admit(step)
+        for handle in admitted:
+            session = handle.session
+            if session.state is SessionState.PREEMPTED:
+                token = session.resume(step)
+            else:
+                token = session.admit(step)
+            emitted[handle.request_id] = token
         if decoding:
             if self.fused:
-                emitted.update(GenerationSession.decode_step_batch(decoding, step))
+                emitted.update(
+                    GenerationSession.decode_step_batch(
+                        [h.session for h in decoding], step
+                    )
+                )
             else:
-                for session in decoding:
-                    emitted[session.request.request_id] = session.decode_step(step)
+                for handle in decoding:
+                    emitted[handle.request_id] = handle.session.decode_step(step)
+
+        for handle in admitted + decoding:
+            if handle.on_token is not None:
+                handle.on_token(handle, emitted[handle.request_id], step)
 
         retired = 0
-        for session in list(self._active):
-            if session.is_finished:
-                self._active.remove(session)
-                session.release_kv()  # pages return to the pool immediately
-                self._finished.append(session)
+        for handle in list(self._active):
+            if handle.session.is_finished:
+                self._active.remove(handle)
+                handle.session.release_kv()  # pages return to the pool now
+                self._finished.append(handle)
                 retired += 1
+                if handle.on_complete is not None:
+                    handle.on_complete(handle, handle.session.to_metrics())
 
         stats: Dict[str, int] = {
             "step": step,
             "emitted": len(emitted),
             "admitted": len(admitted),
+            "preempted": len(victims),
             "decoded": len(decoding),
             "retired": retired,
             "active": len(self._active),
-            "queued": len(self._queue),
+            "queued": self.n_queued,
         }
         if self.arena is not None:
             a = self.arena.stats
@@ -332,7 +605,7 @@ class ContinuousBatchingScheduler:
             self.step()
         if self.has_work:
             raise RuntimeError(
-                f"scheduler did not drain within {max_steps} steps "
+                f"engine did not drain within {max_steps} steps "
                 f"({self.n_queued} queued, {self.n_active} active)"
             )
         return self.report()
@@ -340,13 +613,65 @@ class ContinuousBatchingScheduler:
     def report(self) -> ServingReport:
         """Snapshot of the *completed* requests so far.
 
-        Queued and still-active sessions are excluded, so a mid-run call
-        (while :attr:`has_work` is true) understates total tokens, throughput
-        and the latency aggregates; :meth:`run` only reports after draining.
+        Queued, still-active and cancelled sessions are excluded from the
+        per-request metrics, so a mid-run call (while :attr:`has_work` is
+        true) understates total tokens, throughput and the latency
+        aggregates; :meth:`run` only reports after draining.
         """
+        metrics = [h.session.to_metrics() for h in self._finished]
+        policy = {
+            "admission": self.admission.name,
+            "scheduling": self.scheduling.name,
+            "preemptions": sum(m.preemptions for m in metrics),
+            "deadline_misses": sum(m.deadline_misses for m in metrics),
+            "cancelled": len(self._cancelled),
+        }
         return ServingReport(
             steps=self.current_step,
             max_concurrency=self._max_concurrency,
-            requests=[session.to_metrics() for session in self._finished],
+            requests=metrics,
             arena=self.arena.stats.to_json() if self.arena is not None else None,
+            policy=policy,
         )
+
+
+class ContinuousBatchingScheduler(ServingEngine):
+    """Deprecated pre-policy front end; use :class:`ServingEngine`.
+
+    A :class:`ServingEngine` pinned to its defaults (FIFO admission, FCFS
+    scheduling, no preemption), which reproduces the original scheduler
+    bit-exactly -- tokens, :class:`RequestMetrics` and arena counters -- as
+    the golden and fuzz suites pin.  The only API difference is that
+    :meth:`submit` returns the raw :class:`GenerationSession` (the old
+    contract) instead of a :class:`RequestHandle`.
+    """
+
+    def __init__(
+        self,
+        model,
+        max_active: int = 8,
+        predictor: Optional[KeyPredictor] = None,
+        fused: bool = True,
+        arena=None,
+        page_size: int = 32,
+    ) -> None:
+        warnings.warn(
+            "ContinuousBatchingScheduler is deprecated; use ServingEngine "
+            "(policies: FIFOAdmission + FCFSPolicy reproduce it exactly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            model,
+            max_active=max_active,
+            predictor=predictor,
+            fused=fused,
+            arena=arena,
+            page_size=page_size,
+        )
+
+    def submit(self, request: Request) -> GenerationSession:  # type: ignore[override]
+        return super().submit(request).session
+
+    def submit_many(self, requests: Iterable[Request]) -> List[GenerationSession]:  # type: ignore[override]
+        return [self.submit(r) for r in requests]

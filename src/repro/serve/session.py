@@ -1,13 +1,31 @@
 """Per-request generation sessions for the batched serving engine.
 
 A :class:`Request` describes one user generation job (prompt, decode budget,
-arrival time); a :class:`GenerationSession` is its live server-side state: an
+arrival time, priority, optional deadline); a :class:`GenerationSession` is
+its live server-side state: an
 :class:`~repro.model.generation.IncrementalDecoder` holding the request's KV
 caches plus lifecycle timestamps and traffic counters.  Sessions are the unit
-the continuous-batching scheduler admits, steps and retires -- many sessions
-share one model (and one decoded-plane cache) while each keeps its own cache
-and statistics, mirroring how a serving accelerator multiplexes independent
+the serving engine admits, steps, preempts and retires -- many sessions share
+one model (and one decoded-plane cache) while each keeps its own cache and
+statistics, mirroring how a serving accelerator multiplexes independent
 streams over resident weights.
+
+The session lifecycle is a small state machine::
+
+    QUEUED --admit()--> ACTIVE --(budget/EOS)--> FINISHED
+               ^          |
+               |       preempt()
+            resume()      v
+               +------ PREEMPTED
+
+    any non-terminal state --cancel()--> CANCELLED
+
+Preemption is the mechanism behind priority/deadline scheduling policies: a
+preempted session *releases its KV storage* (arena pages return to the shared
+pool immediately) and snapshots only its generated tokens; :meth:`resume`
+re-prefills ``prompt + generated`` through a fresh decoder, so the emitted
+token stream is identical to an unpreempted run while the KV budget of the
+victim is available to more urgent requests in between.
 """
 
 from __future__ import annotations
@@ -23,13 +41,22 @@ __all__ = ["Request", "RequestMetrics", "SessionState", "GenerationSession"]
 
 @dataclass(frozen=True)
 class Request:
-    """One generation job submitted to the serving engine."""
+    """One generation job submitted to the serving engine.
+
+    ``priority`` orders requests under priority-aware policies (higher wins;
+    the default ``0`` keeps plain FIFO streams unchanged).  ``deadline_steps``
+    is an optional completion target measured in engine steps *from arrival*;
+    deadline-aware policies schedule against it and
+    :attr:`RequestMetrics.deadline_misses` records whether it was met.
+    """
 
     request_id: str
     prompt_tokens: Sequence[int]
     max_new_tokens: int = 16
     eos_token: Optional[int] = None
     arrival_step: int = 0
+    priority: int = 0
+    deadline_steps: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.prompt_tokens) == 0:  # len(), not truthiness: arrays are welcome
@@ -38,12 +65,28 @@ class Request:
             raise ValueError("max_new_tokens must be >= 1")
         if self.arrival_step < 0:
             raise ValueError("arrival_step must be >= 0")
+        if self.deadline_steps is not None and self.deadline_steps < 1:
+            raise ValueError("deadline_steps must be >= 1 when given")
+
+    @property
+    def deadline_step(self) -> Optional[int]:
+        """Absolute step by which the request should finish.
+
+        ``None`` when the request has no deadline -- compare through a
+        None-aware helper (deadline-free requests usually rank *least*
+        urgent, as the shipped deadline policies treat them).
+        """
+        if self.deadline_steps is None:
+            return None
+        return self.arrival_step + self.deadline_steps
 
 
 class SessionState(Enum):
     QUEUED = "queued"
     ACTIVE = "active"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)
@@ -52,6 +95,9 @@ class RequestMetrics:
 
     The single source of truth for the derived serving metrics; live sessions
     produce one via :meth:`GenerationSession.to_metrics` once finished.
+    ``preemptions`` counts how many times the request was evicted and later
+    re-prefilled; ``deadline_misses`` is 1 when the request had a deadline and
+    finished after it (0 otherwise), so sums over a report count missed SLAs.
     """
 
     request_id: str
@@ -62,6 +108,9 @@ class RequestMetrics:
     n_generated: int
     keys_attended: int
     keys_total: int
+    priority: int = 0
+    preemptions: int = 0
+    deadline_misses: int = 0
 
     @property
     def queue_delay_steps(self) -> int:
@@ -87,7 +136,9 @@ class GenerationSession:
     exactly: the first token comes out of the prefill forward pass, every later
     token out of one decode step, and no trailing forward pass runs once the
     decode budget (or EOS) is reached.  A request served through a session
-    therefore produces bit-identical tokens to a solo ``generate()`` call.
+    therefore produces bit-identical tokens to a solo ``generate()`` call --
+    including across :meth:`preempt`/:meth:`resume` cycles, whose re-prefill
+    recomputes exactly the prefix an unpreempted run would hold.
     """
 
     def __init__(
@@ -98,13 +149,23 @@ class GenerationSession:
         arena=None,
     ) -> None:
         self.request = request
-        self.decoder = IncrementalDecoder(model, predictor=predictor, arena=arena)
+        self.model = model
+        self.predictor = predictor
+        self.arena = arena
+        self.decoder: Optional[IncrementalDecoder] = IncrementalDecoder(
+            model, predictor=predictor, arena=arena
+        )
         self.state = SessionState.QUEUED
         self.generated_tokens: List[int] = []
         self.admitted_step: Optional[int] = None
         self.first_token_step: Optional[int] = None
         self.finished_step: Optional[int] = None
+        self.preemptions = 0
         self._pending_token: Optional[int] = None
+        # traffic counters of decoders retired by preemption (the re-prefill
+        # work of resume() is real served traffic and must stay visible)
+        self._keys_attended_base = 0
+        self._keys_total_base = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -125,6 +186,57 @@ class GenerationSession:
             )
         self._pending_token = self.decoder.step(self.generated_tokens[-1])
         return self._commit(step)
+
+    def preempt(self, step: int) -> None:
+        """Evict the session: release its KV storage, keep only the tokens.
+
+        The arena pages (or standalone buffers) return to the pool right away;
+        the generated-token snapshot is all :meth:`resume` needs to rebuild
+        the stream.  Only active, unfinished sessions can be preempted.
+        """
+        if self.state is not SessionState.ACTIVE:
+            raise RuntimeError(
+                f"cannot preempt session {self.request.request_id!r} "
+                f"({self.state.value})"
+            )
+        self._keys_attended_base += self.decoder.keys_attended
+        self._keys_total_base += self.decoder.keys_total
+        self.decoder.release()
+        self.decoder = None
+        self.state = SessionState.PREEMPTED
+        self.preemptions += 1
+
+    def resume(self, step: int) -> int:
+        """Re-admit a preempted session; emits its next token.
+
+        A fresh decoder prefills ``prompt + generated`` in one pass -- the
+        same prefix an unpreempted run would hold in its KV cache -- so the
+        token emitted here (and every one after it) is identical to what the
+        uninterrupted stream would have produced.
+        """
+        if self.state is not SessionState.PREEMPTED:
+            raise RuntimeError(
+                f"cannot resume session {self.request.request_id!r} "
+                f"({self.state.value})"
+            )
+        self.state = SessionState.ACTIVE
+        self.decoder = IncrementalDecoder(
+            self.model, predictor=self.predictor, arena=self.arena
+        )
+        replay = [int(t) for t in self.request.prompt_tokens] + self.generated_tokens
+        self._pending_token = self.decoder.prefill(replay)
+        return self._commit(step)
+
+    def cancel(self) -> None:
+        """Abort the request and free its KV storage (terminal)."""
+        if self.state in (SessionState.FINISHED, SessionState.CANCELLED):
+            raise RuntimeError(
+                f"cannot cancel session {self.request.request_id!r} "
+                f"({self.state.value})"
+            )
+        if self.decoder is not None:
+            self.decoder.release()
+        self.state = SessionState.CANCELLED
 
     @staticmethod
     def decode_step_batch(
@@ -173,12 +285,13 @@ class GenerationSession:
     def release_kv(self) -> None:
         """Free the session's KV storage (arena pages or standalone buffers).
 
-        The scheduler calls this when it retires a finished session, so arena
+        The engine calls this when it retires a finished session, so arena
         occupancy tracks live tokens rather than peak concurrency.  Metrics
         and generated tokens are unaffected; only further decoding becomes
         impossible.
         """
-        self.decoder.release()
+        if self.decoder is not None:
+            self.decoder.release()
 
     # -- metrics ---------------------------------------------------------------
 
@@ -187,16 +300,22 @@ class GenerationSession:
         return self.state is SessionState.FINISHED
 
     @property
+    def is_cancelled(self) -> bool:
+        return self.state is SessionState.CANCELLED
+
+    @property
     def n_generated(self) -> int:
         return len(self.generated_tokens)
 
     @property
     def keys_attended(self) -> int:
-        return self.decoder.keys_attended
+        live = self.decoder.keys_attended if self.decoder is not None else 0
+        return self._keys_attended_base + live
 
     @property
     def keys_total(self) -> int:
-        return self.decoder.keys_total
+        live = self.decoder.keys_total if self.decoder is not None else 0
+        return self._keys_total_base + live
 
     def to_metrics(self) -> RequestMetrics:
         """Snapshot the finished session as an immutable metrics record."""
@@ -204,6 +323,8 @@ class GenerationSession:
             raise RuntimeError(
                 f"session {self.request.request_id!r} is not finished yet"
             )
+        deadline = self.request.deadline_step
+        missed = int(deadline is not None and self.finished_step > deadline)
         return RequestMetrics(
             request_id=self.request.request_id,
             arrival_step=self.request.arrival_step,
@@ -213,4 +334,7 @@ class GenerationSession:
             n_generated=self.n_generated,
             keys_attended=self.keys_attended,
             keys_total=self.keys_total,
+            priority=self.request.priority,
+            preemptions=self.preemptions,
+            deadline_misses=missed,
         )

@@ -9,7 +9,15 @@ from .tasks import (
     all_workloads,
     make_workload,
 )
-from .traffic import poisson_arrival_steps, sample_requests
+from .traffic import (
+    arrival_steps,
+    lognormal_arrival_steps,
+    pareto_arrival_steps,
+    poisson_arrival_steps,
+    sample_priorities,
+    sample_requests,
+    trace_arrival_steps,
+)
 
 __all__ = [
     "TaskSpec",
@@ -21,6 +29,11 @@ __all__ = [
     "AlgorithmProfile",
     "profile_model",
     "QUANT_SCHEMES",
+    "arrival_steps",
+    "lognormal_arrival_steps",
+    "pareto_arrival_steps",
     "poisson_arrival_steps",
+    "sample_priorities",
     "sample_requests",
+    "trace_arrival_steps",
 ]

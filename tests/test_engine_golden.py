@@ -164,6 +164,7 @@ LAST_STEP_GOLDEN = {
     "step": 12,
     "emitted": 1,
     "admitted": 0,
+    "preempted": 0,
     "decoded": 1,
     "retired": 1,
     "active": 0,
@@ -171,6 +172,15 @@ LAST_STEP_GOLDEN = {
     "arena_pages_in_use": 0,
     "arena_page_faults": 11,
     "arena_gather_bytes_copied": 143360,
+}
+
+# per-policy metrics block of the FCFS/FIFO shim run (no preemption possible)
+POLICY_GOLDEN = {
+    "admission": "fifo",
+    "scheduling": "fcfs",
+    "preemptions": 0,
+    "deadline_misses": 0,
+    "cancelled": 0,
 }
 
 REPORT_JSON_KEYS = {
@@ -182,6 +192,7 @@ REPORT_JSON_KEYS = {
     "p95_latency_steps",
     "mean_queue_delay_steps",
     "arena",
+    "policy",
     "requests",
 }
 
@@ -226,6 +237,10 @@ class TestServingGolden:
         scheduler, _ = run
         assert scheduler.last_step_stats == LAST_STEP_GOLDEN
 
+    def test_policy_block_pinned(self, run):
+        _, report = run
+        assert report.policy == POLICY_GOLDEN
+
     def test_to_json_schema_and_round_trip(self, run):
         _, report = run
         payload = json.loads(json.dumps(report.to_json()))
@@ -235,6 +250,7 @@ class TestServingGolden:
         assert rebuilt.max_concurrency == report.max_concurrency
         assert rebuilt.requests == report.requests
         assert rebuilt.arena == report.arena
+        assert rebuilt.policy == report.policy
         assert rebuilt.summary() == report.summary()
         # a second round trip is a fixed point
         assert ServingReport.from_json(rebuilt.to_json()).to_json() == payload
@@ -243,9 +259,27 @@ class TestServingGolden:
         _, report = run
         payload = report.to_json()
         del payload["arena"]  # PR-2-era reports predate the arena block
+        del payload["policy"]  # PR-3-era reports predate the policy block
+        for entry in payload["requests"]:  # ...and the per-request counters
+            del entry["priority"], entry["preemptions"], entry["deadline_misses"]
         rebuilt = ServingReport.from_json(payload)
         assert rebuilt.arena is None
+        assert rebuilt.policy is None
+        assert [r.request_id for r in rebuilt.requests] == [
+            r.request_id for r in report.requests
+        ]
+        assert all(r.preemptions == 0 for r in rebuilt.requests)
+
+    def test_from_json_ignores_unknown_keys(self, run):
+        """Forward compat: newer writers may add blocks this reader predates."""
+        _, report = run
+        payload = report.to_json()
+        payload["some_future_block"] = {"x": 1}
+        for entry in payload["requests"]:
+            entry["some_future_counter"] = 7
+        rebuilt = ServingReport.from_json(payload)
         assert rebuilt.requests == report.requests
+        assert rebuilt.arena == report.arena
 
 
 class TestResetStatsCachePolicy:

@@ -1,12 +1,19 @@
-"""Randomized end-to-end scheduler traces: fused x arena must be invisible.
+"""Randomized end-to-end scheduler traces: execution strategy is invisible.
 
-Each example fuzzes a full serving trace -- Poisson or bursty arrivals,
-random prompt/output lengths, capacities 1..16 -- and replays it through the
-continuous-batching scheduler in all four execution configurations
-(``fused`` on/off x ``arena`` on/off).  The serving stack's core contract is
-that these are pure execution strategies: every configuration must emit
-bit-identical tokens and identical :class:`RequestMetrics`, and the arena
-must drain completely (every page freed) once the trace finishes.
+Two fuzzed contracts:
+
+* ``TestFuzzedTraces`` -- each example replays one serving trace (Poisson or
+  bursty arrivals, random prompt/output lengths, capacities 1..16) through
+  the FCFS scheduler in all four execution configurations (``fused`` on/off
+  x ``arena`` on/off).  Every configuration must emit bit-identical tokens
+  and identical :class:`RequestMetrics`, and the arena must drain completely
+  (every page freed) once the trace finishes.
+* ``TestPreemptionFuzz`` -- each example replays one prioritized bursty
+  trace under the preemptive priority/deadline policy pairs with tight slot
+  counts.  Runs must be deterministic under a fixed seed, every request's
+  tokens must equal unpreempted per-session decoding (preempt/resume is an
+  execution detail), and the arena must drain to zero pages with balanced
+  books despite mid-trace page release/re-acquire.
 
 The hypothesis profile is deterministic (derandomized, no deadline, fixed
 example budget) so PR runs are reproducible; see the CI workflow step that
@@ -19,8 +26,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bgpp import make_bgpp_predictor
-from repro.model import QuantizedTransformer, TransformerModel, get_model_config
-from repro.serve import ContinuousBatchingScheduler, PagedKVArena, Request
+from repro.model import QuantizedTransformer, TransformerModel, generate, get_model_config
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    PagedKVArena,
+    Request,
+    ServingEngine,
+    make_policies,
+)
 
 # deterministic on CI: no wall-clock deadline, fixed example sequence
 FUZZ = settings(max_examples=10, deadline=None, derandomize=True)
@@ -107,6 +120,112 @@ class TestFuzzedTraces:
         plain_run = _run(model, requests, max_active, False, False, predictor)
         assert arena_run[0] == plain_run[0]
         assert arena_run[1] == plain_run[1]
+
+
+def _sample_prioritized_trace(rng, vocab):
+    """Bursty trace with priorities and (sometimes) deadlines.
+
+    Tight arrival clustering plus 1-3 slot engines below makes preemption
+    frequent: high-priority / tight-deadline requests land while the batch
+    is full of lower-urgency work.
+    """
+    n_requests = int(rng.integers(2, 7))
+    arrivals = np.sort(rng.integers(0, 7, size=n_requests))
+    return [
+        Request(
+            request_id=f"p{i:02d}",
+            prompt_tokens=rng.integers(0, vocab, size=int(rng.integers(1, 11))).tolist(),
+            max_new_tokens=int(rng.integers(1, 6)),
+            arrival_step=int(arrivals[i]),
+            priority=int(rng.integers(0, 4)),
+            deadline_steps=(
+                int(rng.integers(1, 13)) if rng.random() < 0.6 else None
+            ),
+        )
+        for i in range(n_requests)
+    ]
+
+
+def _run_policy(model, requests, max_active, policy_name):
+    admission, scheduling = make_policies(policy_name)
+    engine = ServingEngine(
+        model,
+        max_active=max_active,
+        admission=admission,
+        scheduling=scheduling,
+        page_size=4,
+    )
+    handles = engine.submit_many(requests)
+    engine.run()
+    tokens = [h.generated_tokens for h in handles]
+    metrics = [h.metrics() for h in handles]
+    return tokens, metrics, engine
+
+
+class TestPreemptionFuzz:
+    """Preemption-heavy traces: policies reorder *service*, never *content*.
+
+    Each example replays one prioritized bursty trace under the priority and
+    deadline policy pairs with 1-3 batch slots (so eviction actually
+    happens), twice per policy.  Every request's token stream must equal its
+    solo per-session decode -- resume's re-prefill is an execution detail --
+    the two runs must agree exactly (policies are deterministic), and the
+    arena must drain with balanced books even though preempted sessions
+    release and re-acquire pages mid-trace.
+    """
+
+    @FUZZ
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_preemptive_policies_bit_identical_and_drain(self, model, seed):
+        rng = np.random.default_rng(seed)
+        requests = _sample_prioritized_trace(rng, model.config.vocab_size)
+        max_active = int(rng.integers(1, 4))
+        reference = [
+            generate(
+                model, r.prompt_tokens, max_new_tokens=r.max_new_tokens
+            ).generated_tokens
+            for r in requests
+        ]
+        for name in ("priority", "deadline"):
+            tokens, metrics, engine = _run_policy(model, requests, max_active, name)
+            again_tokens, again_metrics, _ = _run_policy(
+                model, requests, max_active, name
+            )
+            assert tokens == again_tokens, f"{name} policy is nondeterministic"
+            assert metrics == again_metrics, f"{name} metrics are nondeterministic"
+            assert tokens == reference, (
+                f"{name} diverged from unpreempted per-session decoding"
+            )
+            stats = engine.arena.stats
+            assert stats.pages_in_use == 0
+            assert stats.page_faults == stats.pages_freed
+            # every preemption opens one extra arena session on resume
+            preemptions = sum(m.preemptions for m in metrics)
+            assert stats.sessions_opened == stats.sessions_freed
+            assert stats.sessions_opened == len(requests) + preemptions
+
+    def test_contended_trace_actually_preempts(self, model):
+        """Sanity-pin that the fuzz regime exercises preemption at all."""
+        requests = [
+            Request("bulk", prompt_tokens=[1, 2, 3], max_new_tokens=12, priority=0),
+            Request(
+                "urgent",
+                prompt_tokens=[4, 5],
+                max_new_tokens=3,
+                arrival_step=2,
+                priority=3,
+            ),
+        ]
+        tokens, metrics, _ = _run_policy(model, requests, 1, "priority")
+        assert metrics[0].preemptions == 1
+        assert metrics[1].admitted_step == 2  # preemption freed the slot at once
+        reference = [
+            generate(
+                model, r.prompt_tokens, max_new_tokens=r.max_new_tokens
+            ).generated_tokens
+            for r in requests
+        ]
+        assert tokens == reference
 
 
 class TestArenaPolicy:
