@@ -22,23 +22,33 @@ long context (``ARENA_CONTEXT`` tokens, ``B`` in {8, 16}):
   (``ArenaStats.gather_bytes_copied``).
 
 A third grid replays one bursty prioritized heavy-tail trace through the
-policy-driven :class:`ServingEngine` under the three shipped policy pairs
-(FCFS, priority, deadline) at ``B = 8`` slots, recording per-class p95
-latency, preemption and deadline-miss counts, and wall-clock tokens/sec.
+policy-driven :class:`ServingEngine` under the shipped policy pairs
+(FCFS, priority, deadline, aging) at ``B = 8`` slots, recording per-class
+p95 latency, preemption and deadline-miss counts, and wall-clock tokens/sec.
+
+A fourth grid measures the **chunked batched prefill pipeline**: one
+prefill-heavy bursty (Pareto) trace at ``B = 8`` runs with one-shot serial
+prefill vs batched prefill, recording per-request *wall-clock* TTFT p50/p95
+(queue delay in steps is identical by construction, so wall time isolates
+the prefill execution strategy) plus a ``prefill_token_budget`` sweep
+showing the TTFT-vs-decode-throughput trade.
 
 CI gates: tokens bit-identical everywhere (including the preemption-heavy
 policy runs, whose evicted sessions must resume bit-identically to their
-solo decode), fused >= per-session at ``B = 8``, arena >= stacking at
-``B = 8``, exactly one BSTC decode per weight matrix, the arena must copy
->= ``ARENA_BYTES_GATE``x fewer KV bytes per step at the long context,
-``ServingEngine`` at FCFS must match the pre-policy scheduler's report
-bit-exactly and keep >= 0.8x of its wall-clock throughput, the priority
-policy must cut high-priority p95 latency strictly below FCFS on the bursty
-trace (with real preemptions), and the deadline policy must not miss more
-deadlines than FCFS.  Results are written to ``BENCH_serving.json`` at the
-repo root -- including a full engine run in the ``ServingReport.to_json``
-schema shared with ``examples/serving_simulation.py --json`` -- so the
-serving-performance trajectory is tracked from this PR on.
+solo decode, and every chunked/mixed prefill step), fused >= per-session at
+``B = 8``, arena >= stacking at ``B = 8``, exactly one BSTC decode per
+weight matrix, the arena must copy >= ``ARENA_BYTES_GATE``x fewer KV bytes
+per step at the long context, ``ServingEngine`` at FCFS must match the
+pre-policy scheduler's report bit-exactly and keep >= 0.8x of its
+wall-clock throughput, the priority policy must cut high-priority p95
+latency strictly below FCFS on the bursty trace (with real preemptions),
+the deadline policy must not miss more deadlines than FCFS, and batched
+prefill must not lose to serial prefill on wall-clock TTFT p95 (its
+step-domain report must be bit-identical).  Results are written to
+``BENCH_serving.json`` at the repo root -- including a full engine run in
+the ``ServingReport.to_json`` schema shared with
+``examples/serving_simulation.py --json`` -- so the serving-performance
+trajectory is tracked from this PR on.
 """
 
 import json
@@ -74,11 +84,21 @@ ARENA_STEPS = 16
 ARENA_BYTES_GATE = 5.0  # arena must copy >= 5x fewer KV bytes per step
 
 # policy grid: one bursty prioritized heavy-tail trace, replayed under the
-# three shipped policy pairs at B = GATED_BATCH slots
-POLICY_NAMES = ("fcfs", "priority", "deadline")
+# shipped policy pairs at B = GATED_BATCH slots
+POLICY_NAMES = ("fcfs", "priority", "deadline", "aging")
 POLICY_REQUESTS = 48
 POLICY_SEED = 29
 HIGH_PRIORITY = 2
+
+# prefill grid: one prefill-heavy bursty trace (long prompts, short decodes,
+# dense Pareto bursts -- the regime where admissions dominate each step) at
+# B = GATED_BATCH, serial vs chunked batched prefill + a chunk-budget sweep
+PREFILL_REQUESTS = 32
+PREFILL_BUDGETS = (16, 32, 64, None)
+# batched prefill sits ~1.2-1.4x under serial TTFT p95; the gate allows a
+# 10% excursion so one noisy best-of-3 sample on a loaded CI runner cannot
+# flip an unrelated PR red (the recorded numbers still track the trajectory)
+PREFILL_TTFT_GATE = 1.1
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -238,6 +258,146 @@ def _policy_rows(model):
     return rows
 
 
+def _prefill_trace(config):
+    """Prefill-heavy bursty trace: long prompts, short decodes, Pareto bursts."""
+    return sample_requests(
+        PREFILL_REQUESTS,
+        vocab_size=config.vocab_size,
+        mean_interarrival=0.3,
+        arrival_process="pareto",
+        arrival_shape=1.5,
+        prompt_divisor=24,
+        max_prompt_len=48,
+        decode_divisor=16,
+        max_decode_len=8,
+        seed=POLICY_SEED,
+    )
+
+
+def _ttft_wall_run(model, requests, batched, budget=None):
+    """One engine run recording per-request wall-clock TTFT.
+
+    A request's wall TTFT is the time from the start of its arrival step to
+    the emission of its first token -- the wall-clock shadow of the
+    step-domain ``time_to_first_token_steps``, so the serial and batched
+    runs (whose step schedules are identical when ``budget`` is ``None``)
+    differ only by how fast each step executes its prefill work.
+    """
+    engine = ServingEngine(
+        model,
+        max_active=GATED_BATCH,
+        batched_prefill=batched,
+        prefill_token_budget=budget,
+    )
+    first_token_wall = {}
+
+    def on_token(handle, token, step):
+        first_token_wall.setdefault(handle.request_id, time.perf_counter())
+
+    handles = [engine.submit(r, on_token=on_token) for r in requests]
+    step_wall = []
+    while engine.has_work:
+        step_wall.append(time.perf_counter())
+        engine.step()
+    ttfts = np.array(
+        [
+            first_token_wall[r.request_id] - step_wall[r.arrival_step]
+            for r in requests
+        ]
+    )
+    return engine.report(), handles, ttfts
+
+
+def _prefill_rows(model):
+    """Serial vs chunked batched prefill TTFT, plus the chunk-budget sweep.
+
+    Every run -- any budget, any mixed decode+prefill step, including the
+    budget-stretched multi-step prefills -- must reproduce each request's
+    solo-decode tokens exactly; that is the CI gate pinning that the chunked
+    pipeline never changes content.  Preemption resumes ride the same
+    batched path (see the policy grid's priority/deadline runs).
+    """
+    config = model.config
+    requests = _prefill_trace(config)
+    reference = {
+        r.request_id: generate(
+            model, r.prompt_tokens, max_new_tokens=r.max_new_tokens
+        ).generated_tokens
+        for r in requests
+    }
+    rows = {}
+    reports = {}
+    for mode, batched in (("serial", False), ("batched", True)):
+        best_p95 = best_p50 = float("inf")
+        for _ in range(REPEATS):
+            report, handles, ttfts = _ttft_wall_run(model, requests, batched)
+            for handle in handles:
+                assert handle.generated_tokens == reference[handle.request_id], (
+                    f"{mode} prefill diverged from the solo reference for "
+                    f"{handle.request_id}"
+                )
+            best_p95 = min(best_p95, float(np.percentile(ttfts, 95)))
+            best_p50 = min(best_p50, float(np.percentile(ttfts, 50)))
+        reports[mode] = report
+        rows[mode] = {
+            "ttft_wall_p50_ms": best_p50 * 1e3,
+            "ttft_wall_p95_ms": best_p95 * 1e3,
+            "steps": report.steps,
+            "ttft_steps_p95": float(
+                np.percentile(
+                    [m.time_to_first_token_steps for m in report.requests], 95
+                )
+            ),
+        }
+    # with no budget cap the batched pipeline must not perturb the
+    # step-domain schedule at all: the whole report is bit-identical
+    assert (
+        reports["batched"].requests == reports["serial"].requests
+    ), "chunked prefill changed the step-domain schedule at unlimited budget"
+
+    sweep = []
+    for budget in PREFILL_BUDGETS:
+        report, handles, ttfts = _ttft_wall_run(
+            model, requests, batched=True, budget=budget
+        )
+        for handle in handles:
+            assert handle.generated_tokens == reference[handle.request_id], (
+                f"budget={budget} prefill diverged for {handle.request_id}"
+            )
+        metrics = report.requests
+        sweep.append(
+            {
+                "prefill_token_budget": budget,
+                "steps": report.steps,
+                "throughput_tokens_per_step": report.throughput_tokens_per_step,
+                "ttft_steps_p50": float(
+                    np.percentile(
+                        [m.time_to_first_token_steps for m in metrics], 50
+                    )
+                ),
+                "ttft_steps_p95": float(
+                    np.percentile(
+                        [m.time_to_first_token_steps for m in metrics], 95
+                    )
+                ),
+                "prefill_steps_p95": float(
+                    np.percentile([m.prefill_steps for m in metrics], 95)
+                ),
+                "ttft_wall_p95_ms": float(np.percentile(ttfts, 95)) * 1e3,
+            }
+        )
+    return {
+        "batch": GATED_BATCH,
+        "requests": PREFILL_REQUESTS,
+        "serial": rows["serial"],
+        "batched": rows["batched"],
+        "ttft_p95_speedup": (
+            rows["serial"]["ttft_wall_p95_ms"] / rows["batched"]["ttft_wall_p95_ms"]
+        ),
+        "budget_sweep": sweep,
+    }
+
+
 def test_batched_decode_throughput(benchmark):
     model = _build_model()
     engine = MCBPEngine(group_size=4, weight_bits=8)
@@ -312,8 +472,11 @@ def test_batched_decode_throughput(benchmark):
         "ServingEngine(FCFS) diverged from ContinuousBatchingScheduler"
     )
 
-    # policy grid: priority/deadline service under one bursty trace
+    # policy grid: priority/deadline/aging service under one bursty trace
     policy_rows = _policy_rows(model)
+
+    # prefill grid: chunked batched prefill vs serial, wall-clock TTFT
+    prefill_block = _prefill_rows(model)
 
     payload = {
         "benchmark": "batched_decode_throughput",
@@ -332,6 +495,7 @@ def test_batched_decode_throughput(benchmark):
             "high_priority_level": HIGH_PRIORITY,
             "results": policy_rows,
         },
+        "prefill": prefill_block,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -369,6 +533,19 @@ def test_batched_decode_throughput(benchmark):
         )
         + f"\nFCFS engine {fcfs_tps:.1f} tok/s vs old scheduler "
         f"{legacy_tps:.1f} tok/s"
+        + "\nprefill TTFT (wall): serial p95 "
+        f"{prefill_block['serial']['ttft_wall_p95_ms']:.2f} ms   batched p95 "
+        f"{prefill_block['batched']['ttft_wall_p95_ms']:.2f} ms   "
+        f"({prefill_block['ttft_p95_speedup']:.2f}x)"
+        + "\n"
+        + "\n".join(
+            f"  budget={str(r['prefill_token_budget']):>4}: "
+            f"{r['steps']:>3} steps  ttft p95 {r['ttft_steps_p95']:5.1f} steps"
+            f" / {r['ttft_wall_p95_ms']:7.2f} ms  "
+            f"prefill p95 {r['prefill_steps_p95']:4.1f} steps  "
+            f"{r['throughput_tokens_per_step']:.2f} tok/step"
+            for r in prefill_block["budget_sweep"]
+        )
         + f"\nBSTC decodes: {engine.codec.decode_calls} "
         f"(= {n_matrices} weight matrices)\nreport -> {BENCH_PATH.name}",
     )
@@ -416,3 +593,17 @@ def test_batched_decode_throughput(benchmark):
         policy_rows["deadline"]["deadline_misses"]
         <= policy_rows["fcfs"]["deadline_misses"]
     ), "deadline policy misses more deadlines than FCFS"
+    # CI gate: chunked batched prefill must not lose to one-shot serial
+    # prefill on wall-clock TTFT p95 over the prefill-heavy bursty trace
+    # (PREFILL_TTFT_GATE absorbs scheduler noise in the best-of-3 samples).
+    # Token divergence and step-schedule divergence assert inside
+    # _prefill_rows, so correctness never rides on a timer.
+    assert (
+        prefill_block["batched"]["ttft_wall_p95_ms"]
+        <= PREFILL_TTFT_GATE * prefill_block["serial"]["ttft_wall_p95_ms"]
+    ), (
+        "batched prefill lost to serial prefill on TTFT p95: "
+        f"{prefill_block['batched']['ttft_wall_p95_ms']:.2f} vs "
+        f"{prefill_block['serial']['ttft_wall_p95_ms']:.2f} ms "
+        f"(gate {PREFILL_TTFT_GATE}x)"
+    )

@@ -7,17 +7,20 @@ Demonstrates the batched serving layer end to end:
    :class:`ServingEngine` with >= 8 concurrent sessions, printing
    per-request latency/traffic and aggregate throughput;
 2. replay one bursty heavy-tail (Pareto) trace with an 80/20 low/high
-   priority mix under all three shipped policy pairs -- FCFS, priority and
-   deadline -- showing how priority admission + preemption cut the
-   high-priority p95 latency while FCFS makes urgent requests wait behind
-   the burst, with identical tokens everywhere;
+   priority mix under the shipped policy pairs -- FCFS, priority, deadline
+   and aging (anti-starvation effective priorities) -- showing how priority
+   admission + preemption cut the high-priority p95 latency while FCFS
+   makes urgent requests wait behind the burst, with identical tokens
+   everywhere;
 3. run the same stream through a quantised model bound to an
    :class:`MCBPEngine` with **fused batched decode** over a shared
    **paged KV arena**: every engine step is a single quantised forward pass
-   over the whole active batch, each layer's BSTC planes are decoded exactly
-   once, session KV lives as fixed-size pages in one pool (freed pages
-   recycle as requests finish), and the emitted tokens are bit-identical to
-   per-session stepping over standalone caches;
+   over the whole active batch -- admissions ride the **chunked batched
+   prefill pipeline**, so burst prompts prefill as ragged chunks inside the
+   same fused pass as the decode tokens -- each layer's BSTC planes are
+   decoded exactly once, session KV lives as fixed-size pages in one pool
+   (freed pages recycle as requests finish), and the emitted tokens are
+   bit-identical to per-session stepping over standalone caches;
 4. run a steady-state decode loop through an :class:`MCBPEngine` with the
    decoded-plane LRU cache and show that every layer is BSTC-decoded exactly
    once, no matter how many decode steps (or co-resident sessions) reuse it;
@@ -30,9 +33,9 @@ Usage::
     python examples/serving_simulation.py --policy priority  # one policy
     python examples/serving_simulation.py --json             # report JSON
 
-``--policy {fcfs,priority,deadline}`` runs only the policy comparison and
-prints the chosen policy's full per-request report.  ``--json`` emits only
-the scheduler report of step 1 in the JSON schema shared with
+``--policy {fcfs,priority,deadline,aging}`` runs only the policy comparison
+and prints the chosen policy's full per-request report.  ``--json`` emits
+only the scheduler report of step 1 in the JSON schema shared with
 ``benchmarks/test_batched_decode_throughput.py`` (``ServingReport.to_json``),
 so scripts can consume either artefact uniformly.
 """
@@ -53,7 +56,7 @@ from repro.model import (
 from repro.serve import ServingEngine, make_policies
 from repro.workloads import sample_requests
 
-POLICY_NAMES = ("fcfs", "priority", "deadline")
+POLICY_NAMES = ("fcfs", "priority", "deadline", "aging")
 
 
 def simulate_traffic(n_requests: int = 24, max_active: int = 8, quiet: bool = False):

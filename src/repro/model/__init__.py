@@ -3,6 +3,7 @@
 from .attention import (
     AttentionOutput,
     BatchedAttentionOutput,
+    ChunkedAttentionOutput,
     KVCache,
     MultiHeadAttention,
     causal_mask,
@@ -41,6 +42,7 @@ __all__ = [
     "MultiHeadAttention",
     "AttentionOutput",
     "BatchedAttentionOutput",
+    "ChunkedAttentionOutput",
     "causal_mask",
     "ragged_selection_mask",
     "DecoderLayer",

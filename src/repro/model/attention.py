@@ -20,6 +20,7 @@ __all__ = [
     "KVCache",
     "AttentionOutput",
     "BatchedAttentionOutput",
+    "ChunkedAttentionOutput",
     "MultiHeadAttention",
     "causal_mask",
     "ragged_selection_mask",
@@ -230,6 +231,17 @@ class BatchedAttentionOutput:
     output: np.ndarray
     keys_attended: np.ndarray  # (B,) ints
     keys_total: np.ndarray  # (B,) ints
+
+
+@dataclass
+class ChunkedAttentionOutput(BatchedAttentionOutput):
+    """Result of one ragged chunked-prefill step over ``B`` streams.
+
+    Same per-stream fields as :class:`BatchedAttentionOutput`, but
+    ``output`` is the merged-head context for *every chunk row*, flattened
+    back to ``(total_rows, hidden)`` in the same stream order the queries
+    came in (stream 0's rows first), rather than one row per stream.
+    """
 
 
 class MultiHeadAttention:
@@ -463,4 +475,144 @@ class MultiHeadAttention:
             output=merged,
             keys_attended=full_mask.sum(axis=1).astype(np.int64),
             keys_total=lengths,
+        )
+
+    # -- chunked ragged batched prefill ---------------------------------------
+
+    def prefill_batch(
+        self,
+        q: np.ndarray,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        row_counts: np.ndarray,
+        caches: List[KVCache],
+        total_lens: Optional[np.ndarray] = None,
+        predictor: Optional[KeyPredictor] = None,
+    ) -> ChunkedAttentionOutput:
+        """Causal prefill attention for ``B`` ragged prompt chunks at once.
+
+        ``q``/``k_new``/``v_new`` hold every stream's chunk rows stacked flat
+        to ``(total_rows, hidden)`` (stream ``b`` owns ``row_counts[b]``
+        consecutive rows); ``caches[b]`` is stream ``b``'s KV cache, which may
+        already hold that stream's earlier chunks.  The new K/V rows are
+        appended first -- through one multi-row
+        :meth:`~repro.serve.kv_arena.PagedKVArena.append_batch` call when
+        every cache is a handle onto one shared arena -- and each chunk row
+        attends causally to its stream's full prefix (cached history plus the
+        chunk rows at or before it).
+
+        ``total_lens[b]`` is the *final* prefill length of stream ``b`` (the
+        key width of the one-shot serial forward this chunk sequence
+        reproduces; a plain decode row passes its post-append length).  Each
+        query row's softmax runs over exactly that width -- real logits on
+        the causal prefix, ``-inf`` (hence exactly-zero probability)
+        everywhere else -- which is the same array the serial pass reduces,
+        so every output row is **bit-identical** to the corresponding row of
+        ``__call__`` over the whole prompt, no matter how the prompt was
+        chunked or which streams shared the batch.
+
+        The score/softmax/context contractions run per stream at each
+        stream's *exact* shapes: mixed batches are extremely ragged (one-row
+        decode streams next to whole-prompt admission chunks), so a padded
+        ``(B, Lmax, W)`` einsum would spend most of its FLOPs on padding --
+        per-stream contraction keeps the attention cost identical to the
+        serial pass while the projections/FFN GEMMs (where the fused win
+        lives) still run once for the whole stacked batch.
+
+        Returns the merged-head context rows (flattened back to
+        ``(total_rows, hidden)``, before the output projection) plus
+        per-stream attended/total key counts covering only this chunk's rows,
+        so partial statistics accumulate to the serial pass's totals.
+        """
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        k_new = np.atleast_2d(np.asarray(k_new, dtype=np.float64))
+        v_new = np.atleast_2d(np.asarray(v_new, dtype=np.float64))
+        row_counts = np.asarray(row_counts, dtype=np.int64)
+        n_streams = int(row_counts.size)
+        if n_streams == 0:
+            raise ValueError("prefill_batch needs at least one stream")
+        if (row_counts < 1).any():
+            raise ValueError("every stream must contribute at least one row")
+        offsets = np.concatenate([[0], np.cumsum(row_counts)])
+        if int(offsets[-1]) != q.shape[0]:
+            raise ValueError(
+                f"row_counts sum to {int(offsets[-1])} but got {q.shape[0]} rows"
+            )
+        if len(caches) != n_streams:
+            raise ValueError(f"expected {n_streams} caches, got {len(caches)}")
+
+        # append the chunk rows: one batched multi-row arena append when every
+        # cache shares the pool, per-cache appends otherwise
+        arena = caches[0].arena
+        layer = caches[0].arena_layer
+        shared = arena is not None and all(
+            c.arena is arena and c.arena_layer == layer for c in caches
+        )
+        k_blocks = [k_new[offsets[b] : offsets[b + 1]] for b in range(n_streams)]
+        v_blocks = [v_new[offsets[b] : offsets[b + 1]] for b in range(n_streams)]
+        if shared:
+            arena.append_batch(
+                layer, [c.arena_session for c in caches], k_blocks, v_blocks
+            )
+        else:
+            for b, cache in enumerate(caches):
+                cache.append(k_blocks[b], v_blocks[b])
+
+        lengths = np.array([cache.seq_len for cache in caches], dtype=np.int64)
+        if total_lens is None:
+            total_lens = lengths
+        else:
+            total_lens = np.asarray(total_lens, dtype=np.int64)
+            if total_lens.shape != lengths.shape:
+                raise ValueError("total_lens must carry one entry per stream")
+            if (total_lens < lengths).any():
+                raise ValueError("total_lens must be >= each stream's length")
+        if shared:
+            keys, values, _ = arena.gather_batch(
+                layer, [c.arena_session for c in caches]
+            )
+        else:
+            max_len = int(lengths.max())
+            keys = np.zeros((n_streams, max_len, self.hidden_size))
+            values = np.zeros((n_streams, max_len, self.hidden_size))
+            for b, cache in enumerate(caches):
+                keys[b, : lengths[b]] = cache.keys
+                values[b, : lengths[b]] = cache.values
+            self.stack_copy_bytes += 2 * int(lengths.sum()) * self.hidden_size * 8
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        flat = np.empty((int(offsets[-1]), self.hidden_size))
+        keys_attended = np.zeros(n_streams, dtype=np.int64)
+        keys_total = np.zeros(n_streams, dtype=np.int64)
+        for b in range(n_streams):
+            n_rows, n_keys, w = int(row_counts[b]), int(lengths[b]), int(total_lens[b])
+            q_rows = q[offsets[b] : offsets[b + 1]]
+            # causal chunk mask: row i (absolute position start + i) may
+            # attend keys 0..start+i -- causal_mask right-aligns it
+            mask = causal_mask(n_rows, n_keys)
+            full_mask = mask
+            if predictor is not None:
+                # each chunk row ranks its own prefix, fed the same key
+                # values the serial pass would (cache rows are exact copies)
+                full_mask = mask & ragged_selection_mask(
+                    predictor, q_rows, keys[b, :n_keys], mask
+                )
+            qh = self._split_heads(q_rows)
+            kh = self._split_heads(keys[b, :n_keys])
+            vh = self._split_heads(values[b, :n_keys])
+            scores = np.einsum("hqd,hkd->hqk", qh, kh) * scale
+            # each row's softmax must reduce over exactly the serial pass's
+            # key width (total_lens[b]); keys past the materialised prefix
+            # are -inf like any other masked position, probability exactly 0
+            logits = np.full((self.n_heads, n_rows, w), -np.inf)
+            logits[..., :n_keys] = np.where(full_mask[None, :, :], scores, -np.inf)
+            probs = softmax(logits, axis=-1)
+            context = np.einsum("hqk,hkd->hqd", probs[..., :n_keys], vh)
+            flat[offsets[b] : offsets[b + 1]] = self._merge_heads(context)
+            keys_attended[b] = int(full_mask.sum())
+            keys_total[b] = int(mask.sum())
+        return ChunkedAttentionOutput(
+            output=flat,
+            keys_attended=keys_attended,
+            keys_total=keys_total,
         )

@@ -90,6 +90,12 @@ class IncrementalDecoder:
         self.prefill_stats: Optional[ForwardStats] = None
         self.decode_stats: List[ForwardStats] = []
         self.last_logits: Optional[np.ndarray] = None
+        # resumable partial-prefill state (begin_prefill/prefill_step_batch):
+        # the tokens still owed to the KV cache plus the statistics of the
+        # chunks already run, folded into prefill_stats on completion
+        self._prefill_pending: Optional[List[int]] = None
+        self._prefill_done = 0
+        self._prefill_partial: Optional[ForwardStats] = None
 
     def release(self) -> None:
         """Free the KV storage held by this stream (idempotent).
@@ -112,7 +118,7 @@ class IncrementalDecoder:
         prompt_tokens = [int(t) for t in prompt_tokens]
         if not prompt_tokens:
             raise ValueError("prompt must contain at least one token")
-        if self.prefill_stats is not None:
+        if self.prefill_stats is not None or self._prefill_pending is not None:
             raise RuntimeError("decoder was already prefilled")
         logits, stats = self.model.forward(
             prompt_tokens, caches=self.caches, predictor=self.predictor
@@ -120,6 +126,129 @@ class IncrementalDecoder:
         self.prefill_stats = stats
         self.last_logits = logits
         return greedy_sample(logits)
+
+    # -- chunked prefill (the serving engine's batched admission path) ---------
+
+    def begin_prefill(self, prompt_tokens: Sequence[int]) -> None:
+        """Register the prompt for incremental prefill without running it.
+
+        The prompt is then fed to the model in ragged chunks by
+        :meth:`prefill_step_batch`; until the last chunk lands the decoder is
+        *mid-prefill* (:attr:`prefill_remaining` > 0, stepping is refused)
+        and its partial statistics stay visible through
+        :attr:`keys_attended` / :attr:`keys_total`.
+        """
+        prompt_tokens = [int(t) for t in prompt_tokens]
+        if not prompt_tokens:
+            raise ValueError("prompt must contain at least one token")
+        if self.prefill_stats is not None or self._prefill_pending is not None:
+            raise RuntimeError("decoder was already prefilled")
+        self._prefill_pending = prompt_tokens
+        self._prefill_done = 0
+        self._prefill_partial = ForwardStats()
+
+    @property
+    def prefill_remaining(self) -> int:
+        """Prompt tokens not yet fed through the model (0 once prefilled)."""
+        if self._prefill_pending is None:
+            return 0
+        return len(self._prefill_pending) - self._prefill_done
+
+    @staticmethod
+    def prefill_step_batch(
+        prefills: Sequence["IncrementalDecoder"],
+        chunk_sizes: Sequence[int],
+        decodes: Sequence["IncrementalDecoder"] = (),
+        decode_tokens: Sequence[int] = (),
+    ) -> Tuple[List[Optional[int]], List[int]]:
+        """Advance a mixed batch: prefill chunks plus decode rows, one pass.
+
+        ``prefills[i]`` (begun via :meth:`begin_prefill`) contributes its next
+        ``chunk_sizes[i]`` prompt tokens; ``decodes[j]`` contributes the one
+        accepted token ``decode_tokens[j]``.  The whole mixed batch runs as a
+        single :meth:`~repro.model.transformer.QuantizedTransformer.prefill_batch`
+        forward -- one GEMM per weight matrix for every row in the step --
+        and each stream's logits, KV rows and statistics are bit-identical to
+        running it alone (one-shot :meth:`prefill` / :meth:`step`).
+
+        Returns ``(prefill_tokens, decode_tokens)``: ``prefill_tokens[i]`` is
+        the first sampled token when decoder ``i`` finished its prompt this
+        step, ``None`` while chunks remain; ``decode_tokens[j]`` is stream
+        ``j``'s next token.  All decoders must share one model exposing
+        ``prefill_batch`` (and one predictor); the serving engine falls back
+        to one-shot serial prefill for anything else.
+        """
+        prefills = list(prefills)
+        decodes = list(decodes)
+        chunk_sizes = [int(n) for n in chunk_sizes]
+        decode_tokens = [int(t) for t in decode_tokens]
+        if len(chunk_sizes) != len(prefills):
+            raise ValueError(
+                f"got {len(chunk_sizes)} chunk sizes for {len(prefills)} decoders"
+            )
+        if len(decode_tokens) != len(decodes):
+            raise ValueError(
+                f"got {len(decode_tokens)} tokens for {len(decodes)} decoders"
+            )
+        if not prefills and not decodes:
+            return [], []
+        everyone = prefills + decodes
+        model = everyone[0].model
+        predictor = everyone[0].predictor
+        fused = getattr(model, "prefill_batch", None)
+        if fused is None:
+            raise RuntimeError("model does not expose prefill_batch")
+        if not all(d.model is model and d.predictor is predictor for d in everyone):
+            raise RuntimeError("mixed prefill batches need one shared model")
+
+        chunks: List[List[int]] = []
+        totals: List[int] = []
+        for decoder, n in zip(prefills, chunk_sizes):
+            if decoder._prefill_pending is None:
+                raise RuntimeError("begin_prefill() must run before chunking")
+            if not 1 <= n <= decoder.prefill_remaining:
+                raise ValueError(
+                    f"chunk of {n} rows outside the remaining "
+                    f"{decoder.prefill_remaining}-token prompt"
+                )
+            start = decoder._prefill_done
+            chunks.append(decoder._prefill_pending[start : start + n])
+            totals.append(len(decoder._prefill_pending))
+        for decoder, token in zip(decodes, decode_tokens):
+            if decoder.prefill_stats is None:
+                raise RuntimeError("prefill must finish before decode steps")
+            chunks.append([token])
+            totals.append(decoder.seq_len + 1)
+
+        logits, stats_list = fused(
+            chunks,
+            [d.caches for d in everyone],
+            predictor=predictor,
+            total_lens=totals,
+        )
+
+        prefill_out: List[Optional[int]] = []
+        for i, (decoder, n) in enumerate(zip(prefills, chunk_sizes)):
+            partial = decoder._prefill_partial
+            partial.keys_attended += stats_list[i].keys_attended
+            partial.keys_total += stats_list[i].keys_total
+            partial.tokens_processed += stats_list[i].tokens_processed
+            decoder._prefill_done += n
+            if decoder.prefill_remaining == 0:
+                decoder.prefill_stats = partial
+                decoder._prefill_pending = None
+                decoder._prefill_partial = None
+                decoder.last_logits = logits[i : i + 1]
+                prefill_out.append(greedy_sample(logits[i]))
+            else:
+                prefill_out.append(None)
+        decode_out: List[int] = []
+        for j, decoder in enumerate(decodes):
+            b = len(prefills) + j
+            decoder.decode_stats.append(stats_list[b])
+            decoder.last_logits = logits[b : b + 1]
+            decode_out.append(greedy_sample(logits[b]))
+        return prefill_out, decode_out
 
     def step(self, token: int) -> int:
         """Feed one accepted token through the model; returns the next token."""
@@ -178,12 +307,14 @@ class IncrementalDecoder:
 
     @property
     def keys_attended(self) -> int:
-        total = self.prefill_stats.keys_attended if self.prefill_stats else 0
+        base = self.prefill_stats or self._prefill_partial
+        total = base.keys_attended if base else 0
         return total + sum(s.keys_attended for s in self.decode_stats)
 
     @property
     def keys_total(self) -> int:
-        total = self.prefill_stats.keys_total if self.prefill_stats else 0
+        base = self.prefill_stats or self._prefill_partial
+        total = base.keys_total if base else 0
         return total + sum(s.keys_total for s in self.decode_stats)
 
 

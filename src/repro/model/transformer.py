@@ -349,6 +349,87 @@ class QuantizedTransformer:
         logits = self._qlin_forward(self.lm_head, "lm_head", hidden)
         return logits, stats
 
+    def prefill_batch(
+        self,
+        chunks: Sequence[Sequence[int]],
+        caches_list: Sequence[List[KVCache]],
+        predictor: Optional[KeyPredictor] = None,
+        total_lens: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, List[ForwardStats]]:
+        """One fused pass over ``B`` ragged prompt chunks (and decode rows).
+
+        ``chunks[b]`` is stream ``b``'s next batch of accepted tokens -- a
+        prompt chunk mid-prefill, or a single token for a co-scheduled decode
+        stream -- and ``caches_list[b]`` its per-layer KV caches holding the
+        stream's earlier tokens.  All chunk rows are stacked into one
+        ``(total_rows, hidden)`` activation matrix, so each weight matrix is
+        applied **once** per step for the whole mixed batch (one integer GEMM
+        -- and, with a bound engine, at most one BSTC decode -- per
+        projection) and attention runs as one ragged chunked pass per layer
+        (:meth:`MultiHeadAttention.prefill_batch`).
+
+        ``total_lens[b]`` is the final length of the serial forward stream
+        ``b`` is reproducing: the full prompt length for a chunked prefill,
+        the post-append context length for a decode row (the default).  Every
+        float op is row-local and every softmax reduces over exactly the
+        serial pass's width, so logits and per-stream statistics are
+        bit-identical to running each stream's whole prompt through
+        :meth:`forward` in one shot -- regardless of chunk boundaries or
+        batch composition.
+
+        Returns float logits ``(B, vocab)`` (one row per stream, the logits
+        of that stream's **last chunk row**) and one :class:`ForwardStats`
+        per stream covering only this chunk's rows.
+        """
+        chunks = [np.asarray(c, dtype=np.int64).reshape(-1) for c in chunks]
+        n_streams = len(chunks)
+        if n_streams == 0:
+            raise ValueError("prefill_batch needs at least one stream")
+        if any(c.size == 0 for c in chunks):
+            raise ValueError("every chunk must contain at least one token")
+        if len(caches_list) != n_streams:
+            raise ValueError(
+                f"expected {n_streams} cache lists, got {len(caches_list)}"
+            )
+        row_counts = np.array([c.size for c in chunks], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(row_counts)])
+        if total_lens is not None:
+            total_lens = np.asarray(total_lens, dtype=np.int64)
+        hidden = self.model.embedding(np.concatenate(chunks))
+        stats = [ForwardStats(tokens_processed=int(n)) for n in row_counts]
+        for i, (layer, qentry) in enumerate(zip(self.model.layers, self.quant_layers)):
+            normed = layer.norm_fn(hidden)
+            q = self._qlin_forward(qentry["wq"], f"layer{i}.wq", normed)
+            k = self._qlin_forward(qentry["wk"], f"layer{i}.wk", normed)
+            v = self._qlin_forward(qentry["wv"], f"layer{i}.wv", normed)
+
+            attn = layer.attention.prefill_batch(
+                q,
+                k,
+                v,
+                row_counts,
+                [caches[i] for caches in caches_list],
+                total_lens=total_lens,
+                predictor=predictor,
+            )
+            proj = self._qlin_forward(qentry["wo"], f"layer{i}.wo", attn.output)
+            hidden = hidden + proj
+            for b in range(n_streams):
+                stats[b].keys_attended += int(attn.keys_attended[b])
+                stats[b].keys_total += int(attn.keys_total[b])
+
+            normed2 = layer.norm_fn(hidden)
+            up = self._qlin_forward(qentry["ffn_up"], f"layer{i}.ffn_up", normed2)
+            act = layer.activation(up)
+            down = self._qlin_forward(qentry["ffn_down"], f"layer{i}.ffn_down", act)
+            hidden = hidden + down
+        hidden = self.model.norm_fn(hidden)
+        # only each stream's last chunk row can be sampled from; the LM head
+        # is row-local, so projecting just those B rows is exact
+        last_rows = hidden[offsets[1:] - 1]
+        logits = self._qlin_forward(self.lm_head, "lm_head", last_rows)
+        return logits, stats
+
     def _attention(
         self,
         attn_mod: MultiHeadAttention,

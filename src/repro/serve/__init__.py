@@ -20,11 +20,14 @@ multi-tenant serving simulator with a pluggable control plane:
   execution core, and the deprecated :class:`ContinuousBatchingScheduler`
   shim.
 
-Execution is *fused*: each engine step stacks the active sessions' tokens
-into one ``(B, hidden)`` batch and models exposing ``forward_batch`` (the
-quantised transformer) run a single forward pass for the whole batch --
-one GEMM per weight matrix and one ragged batched attention per layer --
-with bit-identical tokens and statistics to per-session stepping.
+Execution is *fused*: each engine step builds one mixed batch -- every
+decoding session's token plus up to ``prefill_token_budget`` ragged prompt
+chunk rows from the ``PREFILLING`` sessions (the chunked batched prefill
+pipeline: admissions and preemption resumes alike) -- and models exposing
+``forward_batch`` / ``prefill_batch`` (the quantised transformer) run a
+single forward pass for the whole batch, one GEMM per weight matrix and
+one ragged attention per layer, with bit-identical tokens and statistics
+to per-session serial prefill and stepping.
 
 KV storage is *paged*: every session's per-layer keys/values live as
 fixed-size pages inside one :class:`PagedKVArena` (vLLM-style), read by
@@ -43,6 +46,7 @@ custom policy.
 from .kv_arena import ArenaStats, PagedKVArena
 from .policies import (
     AdmissionPolicy,
+    AgingPriorityAdmission,
     ArenaBudgetAdmission,
     DeadlineAdmission,
     DeadlinePolicy,
@@ -64,6 +68,7 @@ from .session import GenerationSession, Request, SessionState
 
 __all__ = [
     "AdmissionPolicy",
+    "AgingPriorityAdmission",
     "ArenaBudgetAdmission",
     "ArenaStats",
     "ContinuousBatchingScheduler",

@@ -259,6 +259,27 @@ class PagedKVArena:
         entry.lengths[layer] = new
         self.stats.tokens_appended += n_new
 
+    def append_batch(
+        self,
+        layer: int,
+        session_ids: Sequence[int],
+        keys_list: Sequence[np.ndarray],
+        values_list: Sequence[np.ndarray],
+    ) -> None:
+        """Append ragged K/V row blocks to many sessions' one layer at once.
+
+        The batched-prefill entry point: chunk rows for the whole mixed batch
+        land in the pool through one call per layer instead of ``B`` separate
+        :meth:`KVCache.append` hops, and each session's page faults for the
+        whole chunk are taken in a single allocation pass (the multi-row
+        analogue of the one-token decode append).  Equivalent to calling
+        :meth:`append` per session in order.
+        """
+        if not (len(session_ids) == len(keys_list) == len(values_list)):
+            raise ValueError("session_ids, keys and values must align")
+        for sid, keys, values in zip(session_ids, keys_list, values_list):
+            self.append(sid, layer, keys, values)
+
     def _take_page(self) -> int:
         if not self._free:
             self._grow()

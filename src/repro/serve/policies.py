@@ -53,6 +53,7 @@ __all__ = [
     "PriorityAdmission",
     "DeadlineAdmission",
     "ArenaBudgetAdmission",
+    "AgingPriorityAdmission",
     "SchedulingPolicy",
     "FCFSPolicy",
     "PriorityPolicy",
@@ -101,14 +102,42 @@ class AdmissionPolicy(ABC):
     """
 
     name = "admission"
+    #: When true the engine re-keys the whole ready queue every step via
+    #: :meth:`admission_key_at` (keys may depend on the current step, e.g.
+    #: aging).  Static-key policies keep the cheap push-once heap.
+    dynamic = False
 
     @abstractmethod
     def admission_key(self, handle: "RequestHandle") -> Tuple:
         """Sort key of one ready handle; the smallest key admits first."""
 
+    def admission_key_at(self, handle: "RequestHandle", step: int) -> Tuple:
+        """Step-aware ordering key; defaults to the static ``admission_key``.
+
+        Only consulted when :attr:`dynamic` is true -- the engine then
+        recomputes every queued handle's key each step, so time-varying
+        orderings (anti-starvation aging, wait-time boosts) stay correct.
+        Must remain deterministic for a given ``(handle, step)``.
+        """
+        return self.admission_key(handle)
+
     def may_admit(self, handle: "RequestHandle", engine: "ServingEngine") -> bool:
         """Resource gate consulted right before ``handle`` takes a slot."""
         return True
+
+    def prefill_token_budget(self, engine: "ServingEngine") -> Optional[int]:
+        """Prefill rows the engine may spend this step (``None`` = no cap).
+
+        The TTFT-vs-decode-throughput knob of the chunked prefill pipeline:
+        each step the engine feeds at most this many prompt rows (summed over
+        every ``PREFILLING`` session, head of the admission order first) into
+        the fused pass alongside the decode tokens.  The default defers to
+        the engine's ``prefill_token_budget`` constructor knob; policies can
+        override it to spend the step budget adaptively (e.g. throttle
+        prefill while many sessions are decoding, or open the floodgates
+        when the ready queue is deep).
+        """
+        return engine.prefill_token_budget
 
     def check_submit(self, request, engine: "ServingEngine") -> None:
         """Validate a request at submit time; raise ``ValueError`` to reject.
@@ -187,8 +216,21 @@ class ArenaBudgetAdmission(AdmissionPolicy):
     def name(self) -> str:
         return f"arena-budget({self.inner.name})"
 
+    @property
+    def dynamic(self) -> bool:
+        # the wrapper only gates resources; ordering -- including dynamic
+        # re-keying (e.g. a wrapped AgingPriorityAdmission) -- is the inner
+        # policy's, so every ordering hook delegates
+        return self.inner.dynamic
+
     def admission_key(self, handle: "RequestHandle") -> Tuple:
         return self.inner.admission_key(handle)
+
+    def admission_key_at(self, handle: "RequestHandle", step: int) -> Tuple:
+        return self.inner.admission_key_at(handle, step)
+
+    def prefill_token_budget(self, engine: "ServingEngine") -> Optional[int]:
+        return self.inner.prefill_token_budget(engine)
 
     @staticmethod
     def _request_pages(arena, request) -> int:
@@ -237,6 +279,47 @@ class ArenaBudgetAdmission(AdmissionPolicy):
             reserved + self._lifetime_pages(arena, handle),
             watermark=self.watermark,
         )
+
+
+class AgingPriorityAdmission(AdmissionPolicy):
+    """Priority admission with anti-starvation aging of queued requests.
+
+    A request's *effective* priority is its static class boosted by one for
+    every ``aging_steps`` engine steps it has waited since arrival::
+
+        effective(h, step) = h.priority + (step - h.arrival_step) // aging_steps
+
+    so a low-priority request stuck behind a stream of urgent arrivals
+    eventually out-ranks them and cannot starve (the ROADMAP's
+    "aging/anti-starvation priorities" item).  Ordering within an effective
+    class stays FIFO and ties break on the submission index, so runs are
+    deterministic.  The policy is :attr:`dynamic`: the engine re-keys its
+    ready queue every step through :meth:`admission_key_at`.
+
+    Pair it with the non-preemptive :class:`FCFSPolicy` (what
+    ``make_policies("aging")`` returns): preemption driven by *static*
+    priority would evict exactly the aged sessions this policy fought to
+    admit, reintroducing the starvation loop.
+    """
+
+    name = "aging-priority"
+    dynamic = True
+
+    def __init__(self, aging_steps: int = 16) -> None:
+        if aging_steps < 1:
+            raise ValueError("aging_steps must be >= 1")
+        self.aging_steps = aging_steps
+
+    def effective_priority(self, handle: "RequestHandle", step: int) -> int:
+        waited = max(0, step - handle.request.arrival_step)
+        return handle.request.priority + waited // self.aging_steps
+
+    def admission_key(self, handle: "RequestHandle") -> Tuple:
+        # static fallback (push-time ordering before the first re-key)
+        return _priority_key(handle)
+
+    def admission_key_at(self, handle: "RequestHandle", step: int) -> Tuple:
+        return (-self.effective_priority(handle, step),) + _arrival_key(handle)
 
 
 # -- scheduling ---------------------------------------------------------------
@@ -372,7 +455,10 @@ def make_policies(name: str) -> Tuple[AdmissionPolicy, SchedulingPolicy]:
 
     ``"fcfs"`` -> (:class:`FIFOAdmission`, :class:`FCFSPolicy`);
     ``"priority"`` -> (:class:`PriorityAdmission`, :class:`PriorityPolicy`);
-    ``"deadline"`` -> (:class:`DeadlineAdmission`, :class:`DeadlinePolicy`).
+    ``"deadline"`` -> (:class:`DeadlineAdmission`, :class:`DeadlinePolicy`);
+    ``"aging"`` -> (:class:`AgingPriorityAdmission`, :class:`FCFSPolicy`) --
+    aged effective priorities order admission while service stays
+    non-preemptive, so waiting always pays off (see the class docstring).
     The pairs keep the admission order aligned with the service order, which
     is what ``examples/serving_simulation.py --policy`` and the serving
     benchmark use.
@@ -381,6 +467,7 @@ def make_policies(name: str) -> Tuple[AdmissionPolicy, SchedulingPolicy]:
         "fcfs": (FIFOAdmission, FCFSPolicy),
         "priority": (PriorityAdmission, PriorityPolicy),
         "deadline": (DeadlineAdmission, DeadlinePolicy),
+        "aging": (AgingPriorityAdmission, FCFSPolicy),
     }
     if name not in pairs:
         raise KeyError(f"unknown policy {name!r}; available: {sorted(pairs)}")

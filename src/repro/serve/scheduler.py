@@ -13,21 +13,28 @@ preempt for more urgent work).
 Each engine step:
 
 1. moves arrived requests into the ready queue (ordered by the admission
-   policy's key);
-2. asks the scheduling policy for **preemptions**: each victim releases its
-   arena pages immediately and re-enters the ready queue with only its
-   generated-token snapshot (resume re-prefills, bit-identical to an
+   policy's key; *dynamic* policies such as
+   :class:`~repro.serve.policies.AgingPriorityAdmission` are re-keyed every
+   step);
+2. asks the scheduling policy for **preemptions**: each victim -- decoding
+   *or* mid-prefill -- releases its arena pages immediately and re-enters
+   the ready queue with only its generated-token snapshot (resume
+   re-prefills through the same chunked pipeline, bit-identical to an
    unpreempted run);
 3. admits ready requests into free slots, earliest admission-key first,
-   gated per-handle by the admission policy -- an admission runs the
-   request's prefill (or a resumed request's re-prefill) and emits a token;
-4. advances every other active session by one token through a **single fused
-   decode pass**: the sessions' current tokens are stacked into a
-   ``(B, hidden)`` batch and models exposing ``forward_batch`` (e.g.
-   :class:`~repro.model.transformer.QuantizedTransformer`) run one quantised
-   forward per step for the whole batch -- one GEMM per weight matrix and one
-   ragged batched attention per layer.  Models without a fused path fall back
-   to per-session stepping with identical results;
+   gated per-handle by the admission policy -- an admission enters the
+   **chunked prefill pipeline** (state ``PREFILLING``) rather than running
+   its whole prompt serially;
+4. builds one **mixed batch**: every decoding session's current token plus
+   up to ``prefill_token_budget`` prompt rows from the prefilling sessions
+   (head of the admission order first, long prompts split across steps), and
+   runs it as a **single fused forward** through
+   :meth:`~repro.model.transformer.QuantizedTransformer.prefill_batch` --
+   one GEMM per weight matrix for the whole step, one ragged chunked
+   attention per layer.  Sessions whose last chunk landed emit their first
+   token; pure-decode steps keep the dedicated ``forward_batch`` path, and
+   models without batched prefill fall back to one-shot serial prefill at
+   admission with identical tokens;
 5. retires finished sessions, freeing their slots -- and their KV arena
    pages -- for the next step.
 
@@ -332,6 +339,21 @@ class ServingEngine:
     scheduling:
         :class:`~repro.serve.policies.SchedulingPolicy` deciding preemption;
         defaults to FCFS (never preempts).
+    prefill_token_budget:
+        Maximum prompt rows the chunked prefill pipeline feeds into each
+        step's fused pass, summed over every ``PREFILLING`` session (the
+        TTFT-vs-decode-throughput knob; the admission policy can override it
+        per step via
+        :meth:`~repro.serve.policies.AdmissionPolicy.prefill_token_budget`).
+        ``None`` (the default) completes every admitted prompt in its
+        admission step, preserving the serial path's step-domain schedule
+        exactly while still batching the work into one pass.
+    batched_prefill:
+        ``None`` (auto, the default) enables the chunked batched prefill
+        pipeline whenever the fused path is on and the model exposes
+        ``prefill_batch``; ``False`` forces one-shot serial prefill at
+        admission (the benchmark baseline).  Tokens and step-domain metrics
+        are bit-identical either way.
     """
 
     def __init__(
@@ -345,13 +367,25 @@ class ServingEngine:
         max_pages: Optional[int] = None,
         admission: Optional[AdmissionPolicy] = None,
         scheduling: Optional[SchedulingPolicy] = None,
+        prefill_token_budget: Optional[int] = None,
+        batched_prefill: Optional[bool] = None,
     ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
+        if prefill_token_budget is not None and prefill_token_budget < 1:
+            raise ValueError("prefill_token_budget must be >= 1 when given")
         self.model = model
         self.max_active = max_active
         self.predictor = predictor
         self.fused = fused
+        self.prefill_token_budget = prefill_token_budget
+        # like arena=True on a config-less model, an explicit True quietly
+        # falls back when the chunked pipeline cannot run (per-session
+        # stepping or no model support) -- tokens are identical either way
+        supported = fused and hasattr(model, "prefill_batch")
+        self.batched_prefill = supported and (
+            batched_prefill is None or bool(batched_prefill)
+        )
         self.admission = admission if admission is not None else FIFOAdmission()
         self.scheduling = scheduling if scheduling is not None else FCFSPolicy()
         config = getattr(model, "config", None)
@@ -474,13 +508,22 @@ class ServingEngine:
     # -- stepping --------------------------------------------------------------
 
     def _push_ready(self, handle: RequestHandle) -> None:
-        key = self.admission.admission_key(handle)
+        key = self.admission.admission_key_at(handle, self.current_step)
         heapq.heappush(self._ready, (key, handle.index, handle))
 
     def step(self) -> Dict[str, int]:
         """Advance one engine step; returns ``{request_id: emitted_token}``."""
         emitted: Dict[str, int] = {}
         step = self.current_step
+
+        # dynamic admission policies (aging) re-key the whole ready queue
+        # each step -- their ordering depends on how long requests waited
+        if self.admission.dynamic and self._ready:
+            self._ready = [
+                (self.admission.admission_key_at(handle, step), index, handle)
+                for _, index, handle in self._ready
+            ]
+            heapq.heapify(self._ready)
 
         # arrivals: everything due this step joins the ready queue in the
         # admission policy's order (cancelled handles are dropped lazily)
@@ -540,33 +583,93 @@ class ServingEngine:
                 self._push_ready(victim)
                 self._queued_count += 1
 
-        # decode the sessions that kept their slots, in admission order
-        # (continuous batching: old and new requests share the same step)
+        # the sessions that kept their slots decode this step; prefilling
+        # survivors rejoin the chunk budget below (continuous batching: old
+        # and new requests share the same fused pass)
         evicted_ids = set(map(id, victims))
-        decoding = [h for h in pre_active if id(h) not in evicted_ids]
+        survivors = [h for h in pre_active if id(h) not in evicted_ids]
+        decoding = [
+            h for h in survivors if h.session.state is SessionState.ACTIVE
+        ]
 
         self._max_concurrency = max(self._max_concurrency, len(self._active))
 
-        for handle in admitted:
-            session = handle.session
-            if session.state is SessionState.PREEMPTED:
-                token = session.resume(step)
-            else:
-                token = session.admit(step)
-            emitted[handle.request_id] = token
-        if decoding:
-            if self.fused:
+        prefill_rows = 0
+        if self.batched_prefill:
+            # admissions enter the chunked pipeline; older PREFILLING
+            # sessions come first so the queue head always finishes first
+            for handle in admitted:
+                session = handle.session
+                if session.state is SessionState.PREEMPTED:
+                    session.begin_resume(step)
+                else:
+                    session.begin_admit(step)
+            prefilling = [
+                h for h in self._active
+                if h.session.state is SessionState.PREFILLING
+            ]
+            # spend the step's prefill-row budget in admission order: the
+            # head always progresses (its chunk is clamped to >= 1 row even
+            # under a zero-returning policy override, so the engine cannot
+            # livelock), long prompts split across steps, later sessions may
+            # wait a step entirely
+            budget = self.admission.prefill_token_budget(self)
+            chunked: List[RequestHandle] = []
+            chunk_sizes: List[int] = []
+            for handle in prefilling:
+                remaining = handle.session.decoder.prefill_remaining
+                if budget is None:
+                    take = remaining
+                else:
+                    cap = budget if chunked else max(budget, 1)
+                    take = min(remaining, cap)
+                if take <= 0:
+                    continue
+                chunked.append(handle)
+                chunk_sizes.append(take)
+                if budget is not None:
+                    budget -= take
+            prefill_rows = sum(chunk_sizes)
+            if chunked:
+                emitted.update(
+                    GenerationSession.prefill_step_batch(
+                        [h.session for h in chunked],
+                        chunk_sizes,
+                        [h.session for h in decoding],
+                        step,
+                    )
+                )
+            elif decoding:
+                # no prefill rows this step: keep the dedicated decode path
+                # (and its incrementally maintained arena gather view)
                 emitted.update(
                     GenerationSession.decode_step_batch(
                         [h.session for h in decoding], step
                     )
                 )
-            else:
-                for handle in decoding:
-                    emitted[handle.request_id] = handle.session.decode_step(step)
+            recipients = chunked + decoding
+        else:
+            for handle in admitted:
+                session = handle.session
+                if session.state is SessionState.PREEMPTED:
+                    token = session.resume(step)
+                else:
+                    token = session.admit(step)
+                emitted[handle.request_id] = token
+            if decoding:
+                if self.fused:
+                    emitted.update(
+                        GenerationSession.decode_step_batch(
+                            [h.session for h in decoding], step
+                        )
+                    )
+                else:
+                    for handle in decoding:
+                        emitted[handle.request_id] = handle.session.decode_step(step)
+            recipients = admitted + decoding
 
-        for handle in admitted + decoding:
-            if handle.on_token is not None:
+        for handle in recipients:
+            if handle.on_token is not None and handle.request_id in emitted:
                 handle.on_token(handle, emitted[handle.request_id], step)
 
         retired = 0
@@ -585,6 +688,7 @@ class ServingEngine:
             "admitted": len(admitted),
             "preempted": len(victims),
             "decoded": len(decoding),
+            "prefill_rows": prefill_rows,
             "retired": retired,
             "active": len(self._active),
             "queued": self.n_queued,
@@ -635,6 +739,12 @@ class ServingEngine:
         )
 
 
+# the shim's DeprecationWarning fires once per process, not once per
+# instantiation -- fuzz/golden suites build hundreds of shims and a warning
+# per construction drowns real diagnostics (tests reset this to re-observe)
+_shim_deprecation_warned = False
+
+
 class ContinuousBatchingScheduler(ServingEngine):
     """Deprecated pre-policy front end; use :class:`ServingEngine`.
 
@@ -643,7 +753,8 @@ class ContinuousBatchingScheduler(ServingEngine):
     bit-exactly -- tokens, :class:`RequestMetrics` and arena counters -- as
     the golden and fuzz suites pin.  The only API difference is that
     :meth:`submit` returns the raw :class:`GenerationSession` (the old
-    contract) instead of a :class:`RequestHandle`.
+    contract) instead of a :class:`RequestHandle`.  The deprecation warning
+    is emitted exactly once per process.
     """
 
     def __init__(
@@ -655,12 +766,15 @@ class ContinuousBatchingScheduler(ServingEngine):
         arena=None,
         page_size: int = 32,
     ) -> None:
-        warnings.warn(
-            "ContinuousBatchingScheduler is deprecated; use ServingEngine "
-            "(policies: FIFOAdmission + FCFSPolicy reproduce it exactly)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        global _shim_deprecation_warned
+        if not _shim_deprecation_warned:
+            _shim_deprecation_warned = True
+            warnings.warn(
+                "ContinuousBatchingScheduler is deprecated; use ServingEngine "
+                "(policies: FIFOAdmission + FCFSPolicy reproduce it exactly)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         super().__init__(
             model,
             max_active=max_active,

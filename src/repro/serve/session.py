@@ -12,20 +12,28 @@ streams over resident weights.
 
 The session lifecycle is a small state machine::
 
-    QUEUED --admit()--> ACTIVE --(budget/EOS)--> FINISHED
-               ^          |
-               |       preempt()
-            resume()      v
-               +------ PREEMPTED
+    QUEUED --begin_admit()--> PREFILLING --(last chunk)--> ACTIVE --(budget/EOS)--> FINISHED
+                                  ^   |                     |
+                                  |   +------ preempt() ----+
+                           begin_resume()     v
+                                  +------ PREEMPTED
 
     any non-terminal state --cancel()--> CANCELLED
 
+Admission enters the **chunked prefill pipeline**: a ``PREFILLING`` session
+feeds its prompt to the model in ragged chunks (batched with every other
+prefilling and decoding session, one fused pass per engine step) and emits
+its first token the step the last chunk lands.  ``admit()``/``resume()``
+remain as the one-shot serial path for models without a batched prefill.
+
 Preemption is the mechanism behind priority/deadline scheduling policies: a
-preempted session *releases its KV storage* (arena pages return to the shared
-pool immediately) and snapshots only its generated tokens; :meth:`resume`
-re-prefills ``prompt + generated`` through a fresh decoder, so the emitted
-token stream is identical to an unpreempted run while the KV budget of the
-victim is available to more urgent requests in between.
+preempted session -- mid-decode *or* mid-prefill -- *releases its KV
+storage* (arena pages return to the shared pool immediately) and snapshots
+only its generated tokens; :meth:`begin_resume` / :meth:`resume` re-prefill
+``prompt + generated`` through a fresh decoder (through the same chunked
+batched pipeline as admissions), so the emitted token stream is identical to
+an unpreempted run while the KV budget of the victim is available to more
+urgent requests in between.
 """
 
 from __future__ import annotations
@@ -83,6 +91,7 @@ class Request:
 
 class SessionState(Enum):
     QUEUED = "queued"
+    PREFILLING = "prefilling"
     ACTIVE = "active"
     PREEMPTED = "preempted"
     FINISHED = "finished"
@@ -98,6 +107,16 @@ class RequestMetrics:
     ``preemptions`` counts how many times the request was evicted and later
     re-prefilled; ``deadline_misses`` is 1 when the request had a deadline and
     finished after it (0 otherwise), so sums over a report count missed SLAs.
+
+    ``queue_steps`` / ``prefill_steps`` split the time-to-first-token into
+    its two components: steps spent waiting for a batch slot versus steps
+    spent prefilling once admitted (0 when the whole prompt fits the
+    admission step's chunk budget; grows under a tight
+    ``prefill_token_budget`` or mid-prefill preemption).  They always sum to
+    :attr:`time_to_first_token_steps`.  Both default to ``None`` so reports
+    written before the split still load (``from_json`` tolerates the missing
+    keys) and newer reports degrade cleanly in old readers (unknown keys are
+    ignored).
     """
 
     request_id: str
@@ -111,6 +130,8 @@ class RequestMetrics:
     priority: int = 0
     preemptions: int = 0
     deadline_misses: int = 0
+    queue_steps: Optional[int] = None
+    prefill_steps: Optional[int] = None
 
     @property
     def queue_delay_steps(self) -> int:
@@ -170,13 +191,49 @@ class GenerationSession:
     # -- lifecycle -------------------------------------------------------------
 
     def admit(self, step: int) -> int:
-        """Prefill the prompt and emit the request's first token."""
+        """Prefill the prompt in one serial pass and emit the first token."""
         if self.state is not SessionState.QUEUED:
             raise RuntimeError(f"session {self.request.request_id!r} already admitted")
         self.state = SessionState.ACTIVE
         self.admitted_step = step
         self._pending_token = self.decoder.prefill(self.request.prompt_tokens)
         return self._commit(step)
+
+    def begin_admit(self, step: int) -> None:
+        """Enter the chunked prefill pipeline instead of serial prefill.
+
+        The session moves to ``PREFILLING`` and holds a batch slot, but no
+        forward pass runs yet: the engine feeds its prompt through
+        :meth:`prefill_step_batch` in ragged chunks (sharing every step's
+        fused pass with the decoding sessions) and the first token is emitted
+        the step the final chunk lands -- bit-identical to :meth:`admit`.
+        """
+        if self.state is not SessionState.QUEUED:
+            raise RuntimeError(f"session {self.request.request_id!r} already admitted")
+        self.state = SessionState.PREFILLING
+        self.admitted_step = step
+        self.decoder.begin_prefill(self.request.prompt_tokens)
+
+    def begin_resume(self, step: int) -> None:
+        """Re-admit a preempted session through the chunked prefill pipeline.
+
+        A fresh decoder is registered with ``prompt + generated`` -- the
+        exact prefix an unpreempted run would hold -- and the session
+        re-prefills through the same batched chunk path as new admissions,
+        so every token emitted after the resume matches the uninterrupted
+        stream.
+        """
+        if self.state is not SessionState.PREEMPTED:
+            raise RuntimeError(
+                f"cannot resume session {self.request.request_id!r} "
+                f"({self.state.value})"
+            )
+        self.state = SessionState.PREFILLING
+        self.decoder = IncrementalDecoder(
+            self.model, predictor=self.predictor, arena=self.arena
+        )
+        replay = [int(t) for t in self.request.prompt_tokens] + self.generated_tokens
+        self.decoder.begin_prefill(replay)
 
     def decode_step(self, step: int) -> int:
         """Emit one more token (running a decode forward pass when needed)."""
@@ -191,10 +248,13 @@ class GenerationSession:
         """Evict the session: release its KV storage, keep only the tokens.
 
         The arena pages (or standalone buffers) return to the pool right away;
-        the generated-token snapshot is all :meth:`resume` needs to rebuild
-        the stream.  Only active, unfinished sessions can be preempted.
+        the generated-token snapshot is all :meth:`resume` /
+        :meth:`begin_resume` needs to rebuild the stream.  Active *and
+        mid-prefill* sessions can be preempted -- a prefilling victim's
+        partial chunks are discarded with its pages (the KV rows *are* the
+        progress) and the resume re-prefills from scratch.
         """
-        if self.state is not SessionState.ACTIVE:
+        if self.state not in (SessionState.ACTIVE, SessionState.PREFILLING):
             raise RuntimeError(
                 f"cannot preempt session {self.request.request_id!r} "
                 f"({self.state.value})"
@@ -237,6 +297,58 @@ class GenerationSession:
         if self.decoder is not None:
             self.decoder.release()
         self.state = SessionState.CANCELLED
+
+    @classmethod
+    def prefill_step_batch(
+        cls,
+        prefilling: Sequence["GenerationSession"],
+        chunk_sizes: Sequence[int],
+        decoding: Sequence["GenerationSession"],
+        step: int,
+    ) -> Dict[str, int]:
+        """One mixed engine step: prefill chunks plus decode rows, one pass.
+
+        ``prefilling[i]`` (in ``PREFILLING`` state) advances by
+        ``chunk_sizes[i]`` prompt rows and ``decoding[j]`` (``ACTIVE``) by
+        one token, all through a single
+        :meth:`~repro.model.generation.IncrementalDecoder.prefill_step_batch`
+        fused forward.  Sessions whose final chunk landed move to ``ACTIVE``
+        and commit their first token exactly as :meth:`admit` would; decode
+        commits match :meth:`decode_step`.  Returns ``{request_id: token}``
+        for every token emitted this step (mid-prefill sessions emit
+        nothing).
+        """
+        prefilling = list(prefilling)
+        decoding = list(decoding)
+        for session in prefilling:
+            if session.state is not SessionState.PREFILLING:
+                raise RuntimeError(
+                    f"session {session.request.request_id!r} is not prefilling "
+                    f"({session.state.value})"
+                )
+        for session in decoding:
+            if session.state is not SessionState.ACTIVE:
+                raise RuntimeError(
+                    f"session {session.request.request_id!r} is not active "
+                    f"({session.state.value})"
+                )
+        prefill_tokens, decode_tokens = IncrementalDecoder.prefill_step_batch(
+            [s.decoder for s in prefilling],
+            chunk_sizes,
+            [s.decoder for s in decoding],
+            [s.generated_tokens[-1] for s in decoding],
+        )
+        emitted: Dict[str, int] = {}
+        for session, token in zip(prefilling, prefill_tokens):
+            if token is None:
+                continue  # chunks remain; the session keeps its slot
+            session.state = SessionState.ACTIVE
+            session._pending_token = token
+            emitted[session.request.request_id] = session._commit(step)
+        for session, token in zip(decoding, decode_tokens):
+            session._pending_token = token
+            emitted[session.request.request_id] = session._commit(step)
+        return emitted
 
     @staticmethod
     def decode_step_batch(
@@ -300,6 +412,10 @@ class GenerationSession:
         return self.state is SessionState.FINISHED
 
     @property
+    def is_prefilling(self) -> bool:
+        return self.state is SessionState.PREFILLING
+
+    @property
     def is_cancelled(self) -> bool:
         return self.state is SessionState.CANCELLED
 
@@ -337,4 +453,6 @@ class GenerationSession:
             priority=self.request.priority,
             preemptions=self.preemptions,
             deadline_misses=missed,
+            queue_steps=int(self.admitted_step) - self.request.arrival_step,
+            prefill_steps=int(self.first_token_step) - int(self.admitted_step),
         )

@@ -142,6 +142,12 @@ SERVING_GOLDEN = {
 
 # ArenaStats.to_json() of the fixed run below; every value is a function of
 # the requests' prompt/decode lengths and the admission schedule alone.
+# Updated for the chunked batched prefill pipeline (PR 5): prompts now read
+# the pool through gather_batch during their prefill step -- so prefill
+# steps trade the old per-session view materialisations (view_bytes 133120
+# -> 53248) for batched gather traffic (rebuilds 6 -> 10, bytes 143360 ->
+# 245760), while every step-domain value (steps, tokens, page faults, peak
+# occupancy) is unchanged.
 ARENA_GOLDEN = {
     "page_size": 4,
     "n_pages": 64,
@@ -153,10 +159,10 @@ ARENA_GOLDEN = {
     "tokens_appended": 74,
     "sessions_opened": 4,
     "sessions_freed": 4,
-    "gather_rebuilds": 6,
-    "gather_incremental": 6,
-    "gather_bytes_copied": 143360,
-    "view_bytes_copied": 133120,
+    "gather_rebuilds": 10,
+    "gather_incremental": 8,
+    "gather_bytes_copied": 245760,
+    "view_bytes_copied": 53248,
     "occupancy": 0.0,
 }
 
@@ -166,12 +172,13 @@ LAST_STEP_GOLDEN = {
     "admitted": 0,
     "preempted": 0,
     "decoded": 1,
+    "prefill_rows": 0,
     "retired": 1,
     "active": 0,
     "queued": 0,
     "arena_pages_in_use": 0,
     "arena_page_faults": 11,
-    "arena_gather_bytes_copied": 143360,
+    "arena_gather_bytes_copied": 245760,
 }
 
 # per-policy metrics block of the FCFS/FIFO shim run (no preemption possible)
@@ -262,6 +269,8 @@ class TestServingGolden:
         del payload["policy"]  # PR-3-era reports predate the policy block
         for entry in payload["requests"]:  # ...and the per-request counters
             del entry["priority"], entry["preemptions"], entry["deadline_misses"]
+            # PR-4-era reports predate the TTFT queue/prefill split
+            del entry["queue_steps"], entry["prefill_steps"]
         rebuilt = ServingReport.from_json(payload)
         assert rebuilt.arena is None
         assert rebuilt.policy is None
@@ -269,6 +278,14 @@ class TestServingGolden:
             r.request_id for r in report.requests
         ]
         assert all(r.preemptions == 0 for r in rebuilt.requests)
+        # the split components default to None (unknown), not a fake zero
+        assert all(r.queue_steps is None for r in rebuilt.requests)
+        assert all(r.prefill_steps is None for r in rebuilt.requests)
+        # new-era reports carry a consistent split
+        assert all(
+            r.queue_steps + r.prefill_steps == r.time_to_first_token_steps
+            for r in report.requests
+        )
 
     def test_from_json_ignores_unknown_keys(self, run):
         """Forward compat: newer writers may add blocks this reader predates."""

@@ -205,6 +205,23 @@ class TestScheduler:
         with pytest.raises(ValueError, match="duplicate request_id"):
             sched.submit(Request("dup", prompt_tokens=[1], max_new_tokens=1))
 
+    def test_deprecation_warning_fires_exactly_once_per_process(self, monkeypatch):
+        import warnings
+
+        from repro.serve import scheduler as scheduler_module
+
+        # re-arm the once-per-process latch so this test is order-independent
+        monkeypatch.setattr(scheduler_module, "_shim_deprecation_warned", False)
+        with pytest.warns(DeprecationWarning):
+            ContinuousBatchingScheduler(StubModel())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ContinuousBatchingScheduler(StubModel())
+            ContinuousBatchingScheduler(StubModel())
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ], "the shim warning must fire once per process, not per instantiation"
+
 
 class TestTraffic:
     def test_poisson_arrivals_monotone_and_seeded(self):

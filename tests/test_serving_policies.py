@@ -217,13 +217,18 @@ class TestServingEngineFacade:
 
 
 class TestDeprecationShim:
-    def test_shim_warns_and_matches_engine_bit_exactly(self, model):
+    def test_shim_warns_and_matches_engine_bit_exactly(self, model, monkeypatch):
+        from repro.serve import scheduler as scheduler_module
+
         requests = sample_requests(
             10, vocab_size=model.config.vocab_size, mean_interarrival=0.5, seed=11
         )
         engine = ServingEngine(model, max_active=4)
         handles = engine.submit_many(requests)
         engine_report = engine.run()
+        # the warning fires once per process; re-arm it so this test observes
+        # it regardless of which suite instantiated a shim first
+        monkeypatch.setattr(scheduler_module, "_shim_deprecation_warned", False)
         with pytest.warns(DeprecationWarning):
             shim = ContinuousBatchingScheduler(model, max_active=4)
         sessions = shim.submit_many(requests)
@@ -386,6 +391,24 @@ class TestAdmissionPolicies:
         assert engine.arena.stats.pool_grows == 0
         assert len(report.requests) == 5
 
+    def test_arena_budget_delegates_ordering_hooks_to_inner(self):
+        """Wrapping a dynamic inner policy must keep it dynamic (and aged)."""
+        from repro.serve import AgingPriorityAdmission
+
+        inner = AgingPriorityAdmission(aging_steps=4)
+        wrapped = ArenaBudgetAdmission(inner=inner)
+        assert wrapped.dynamic
+        engine = ServingEngine(StubModel(), max_active=1, admission=wrapped)
+        handle = engine.submit(
+            Request("r0", prompt_tokens=[0], max_new_tokens=1)
+        )
+        assert wrapped.admission_key_at(handle, 16) == inner.admission_key_at(
+            handle, 16
+        )
+        assert wrapped.prefill_token_budget(engine) == inner.prefill_token_budget(
+            engine
+        )
+
     def test_arena_budget_validation_and_name(self):
         with pytest.raises(ValueError):
             ArenaBudgetAdmission(watermark=0.0)
@@ -394,6 +417,67 @@ class TestAdmissionPolicies:
         assert ArenaBudgetAdmission().name == "arena-budget(fifo)"
         inner = PriorityAdmission()
         assert ArenaBudgetAdmission(inner=inner).name == "arena-budget(priority)"
+
+    def test_aging_priority_unstarves_the_patient(self):
+        """A low-priority early arrival eventually out-ranks urgent traffic."""
+        from repro.serve import AgingPriorityAdmission
+        from repro.serve.policies import FCFSPolicy
+
+        model = StubModel()
+        engine = ServingEngine(
+            model, max_active=1,
+            admission=AgingPriorityAdmission(aging_steps=4),
+            scheduling=FCFSPolicy(),
+        )
+        patient = engine.submit(
+            Request("patient", prompt_tokens=[0], max_new_tokens=2, priority=0)
+        )
+        # a steady stream of higher-priority arrivals behind it; with plain
+        # PriorityAdmission the patient would wait for every one of them
+        vips = [
+            engine.submit(
+                Request(
+                    f"vip{i}", prompt_tokens=[i % 8], max_new_tokens=2,
+                    arrival_step=i, priority=1,
+                )
+            )
+            for i in range(6)
+        ]
+        report = engine.run()
+        by_id = {m.request_id: m for m in report.requests}
+        # waited >= 4 steps -> effective priority 1 ties the VIPs, and the
+        # earlier arrival then wins FIFO within the class
+        assert by_id["patient"].first_token_step < max(
+            by_id[f"vip{i}"].first_token_step for i in range(6)
+        )
+        assert all(h.done for h in [patient, *vips])
+
+    def test_aging_policy_is_deterministic_and_orders_by_wait(self):
+        from repro.serve import AgingPriorityAdmission
+
+        policy = AgingPriorityAdmission(aging_steps=8)
+        with pytest.raises(ValueError):
+            AgingPriorityAdmission(aging_steps=0)
+        assert policy.dynamic
+        engine = ServingEngine(StubModel(), max_active=1,
+                               admission=AgingPriorityAdmission(aging_steps=8))
+        h0 = engine.submit(Request("a", prompt_tokens=[0], max_new_tokens=1))
+        h1 = engine.submit(
+            Request("b", prompt_tokens=[1], max_new_tokens=1, priority=2)
+        )
+        # static classes still rank first before anyone has waited
+        assert policy.admission_key_at(h1, 0) < policy.admission_key_at(h0, 0)
+        # 16 waited steps boost the priority-0 request past the fresh class-2
+        assert policy.admission_key_at(h0, 16) < policy.admission_key_at(h1, 0)
+
+    def test_make_policies_aging_pair(self):
+        from repro.serve import AgingPriorityAdmission
+        from repro.serve.policies import FCFSPolicy
+
+        admission, scheduling = make_policies("aging")
+        assert isinstance(admission, AgingPriorityAdmission)
+        assert isinstance(scheduling, FCFSPolicy)
+        assert not scheduling.preemptive
 
     def test_make_policies_rejects_unknown(self):
         with pytest.raises(KeyError):
