@@ -33,6 +33,12 @@ prefill vs batched prefill, recording per-request *wall-clock* TTFT p50/p95
 the prefill execution strategy) plus a ``prefill_token_budget`` sweep
 showing the TTFT-vs-decode-throughput trade.
 
+A fifth grid measures the **cross-request prefix cache**: a shared-prefix
+trace (every prompt opens with the same long head) runs with
+``prefix_cache`` off and on, recording wall-clock TTFT p95, page faults,
+reused prompt rows and shared pages; a divergent-prompt trace (no two
+prompts share a full page) pins the cache as a strict no-op.
+
 CI gates: tokens bit-identical everywhere (including the preemption-heavy
 policy runs, whose evicted sessions must resume bit-identically to their
 solo decode, and every chunked/mixed prefill step), fused >= per-session at
@@ -42,9 +48,12 @@ per step at the long context, ``ServingEngine`` at FCFS must match the
 pre-policy scheduler's report bit-exactly and keep >= 0.8x of its
 wall-clock throughput, the priority policy must cut high-priority p95
 latency strictly below FCFS on the bursty trace (with real preemptions),
-the deadline policy must not miss more deadlines than FCFS, and batched
+the deadline policy must not miss more deadlines than FCFS, batched
 prefill must not lose to serial prefill on wall-clock TTFT p95 (its
-step-domain report must be bit-identical).  Results are written to
+step-domain report must be bit-identical), and the prefix cache must
+allocate strictly fewer pages on the shared-prefix trace without losing
+the cache-off TTFT p95 (tokens, per-request metrics and -- on the
+divergent trace -- page faults all bit-identical).  Results are written to
 ``BENCH_serving.json`` at the repo root -- including a full engine run in
 the ``ServingReport.to_json`` schema shared with
 ``examples/serving_simulation.py --json`` -- so the serving-performance
@@ -64,6 +73,7 @@ from repro.model.generation import IncrementalDecoder
 from repro.serve import (
     ContinuousBatchingScheduler,
     PagedKVArena,
+    Request,
     ServingEngine,
     make_policies,
 )
@@ -99,6 +109,17 @@ PREFILL_BUDGETS = (16, 32, 64, None)
 # 10% excursion so one noisy best-of-3 sample on a loaded CI runner cannot
 # flip an unrelated PR red (the recorded numbers still track the trajectory)
 PREFILL_TTFT_GATE = 1.1
+
+# prefix-cache grid: one shared-prefix trace (a long common prompt head,
+# ragged novel tails) and one divergent trace (distinct leading token, so no
+# full page is ever shared) at B = GATED_BATCH over small pages
+PREFIX_REQUESTS = 24
+PREFIX_BASE_LEN = 48
+PREFIX_PAGE_SIZE = 8
+PREFIX_SEED = 31
+# cache-on must not lose cache-off on TTFT p95; it skips most prefill rows
+# on the shared trace, so 1.1 only absorbs best-of-3 timer noise
+PREFIX_TTFT_GATE = 1.1
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -274,7 +295,9 @@ def _prefill_trace(config):
     )
 
 
-def _ttft_wall_run(model, requests, batched, budget=None):
+def _ttft_wall_run(
+    model, requests, batched, budget=None, page_size=32, prefix_cache=False
+):
     """One engine run recording per-request wall-clock TTFT.
 
     A request's wall TTFT is the time from the start of its arrival step to
@@ -288,6 +311,8 @@ def _ttft_wall_run(model, requests, batched, budget=None):
         max_active=GATED_BATCH,
         batched_prefill=batched,
         prefill_token_budget=budget,
+        page_size=page_size,
+        prefix_cache=prefix_cache,
     )
     first_token_wall = {}
 
@@ -398,6 +423,126 @@ def _prefill_rows(model):
     }
 
 
+def _prefix_traces(config):
+    """Shared-head and divergent request streams for the prefix-cache grid."""
+    rng = np.random.default_rng(PREFIX_SEED)
+    vocab = config.vocab_size
+    base = rng.integers(0, vocab, size=PREFIX_BASE_LEN).tolist()
+    arrivals = np.sort(rng.integers(0, 12, size=PREFIX_REQUESTS))
+    shared, divergent = [], []
+    for i in range(PREFIX_REQUESTS):
+        tail = rng.integers(0, vocab, size=int(rng.integers(0, 9))).tolist()
+        new_tokens = int(rng.integers(2, 7))
+        shared.append(
+            Request(
+                f"s{i:02d}",
+                prompt_tokens=base + tail,
+                max_new_tokens=new_tokens,
+                arrival_step=int(arrivals[i]),
+            )
+        )
+        # a distinct leading token guarantees no full-page prefix is ever
+        # shared, so the cache must behave as a strict no-op on this trace
+        divergent.append(
+            Request(
+                f"d{i:02d}",
+                prompt_tokens=[i % vocab]
+                + rng.integers(0, vocab, size=int(rng.integers(4, 16))).tolist(),
+                max_new_tokens=new_tokens,
+                arrival_step=int(arrivals[i]),
+            )
+        )
+    return shared, divergent
+
+
+def _prefix_cache_block(model):
+    """Cache on/off over shared-prefix and divergent traces, plus invariants.
+
+    Correctness asserts here (bit-identical tokens and per-request step
+    metrics, zero hits on the divergent trace, balanced books on drain)
+    never ride on a timer; the TTFT/page gates live in the main test.
+    """
+    config = model.config
+    shared, divergent = _prefix_traces(config)
+    page_bytes = (
+        PREFIX_PAGE_SIZE * config.hidden_size * config.n_layers * 2 * 8
+    )
+    runs, reports, tokens = {}, {}, {}
+    for mode, cache in (("off", False), ("on", True)):
+        best_p95 = float("inf")
+        for _ in range(REPEATS):
+            report, handles, ttfts = _ttft_wall_run(
+                model,
+                shared,
+                batched=True,
+                page_size=PREFIX_PAGE_SIZE,
+                prefix_cache=cache,
+            )
+            best_p95 = min(best_p95, float(np.percentile(ttfts, 95)))
+        reports[mode] = report
+        tokens[mode] = {h.request_id: h.generated_tokens for h in handles}
+        arena = report.arena
+        runs[mode] = {
+            "ttft_wall_p95_ms": best_p95 * 1e3,
+            "steps": report.steps,
+            "page_faults": arena["page_faults"],
+            "peak_pages_in_use": arena["peak_pages_in_use"],
+            "kv_fault_bytes": arena["page_faults"] * page_bytes,
+            "prefix_hits": arena["prefix_hits"],
+            "prefix_tokens_reused": arena["prefix_tokens_reused"],
+            "prefix_pages_shared": arena["prefix_pages_shared"],
+            "cow_copies": arena["cow_copies"],
+        }
+    # sharing is an execution detail: tokens and the whole step-domain
+    # per-request schedule are bit-identical to the cache-off run
+    assert tokens["on"] == tokens["off"], "prefix cache changed tokens"
+    assert reports["on"].requests == reports["off"].requests, (
+        "prefix cache perturbed the step-domain schedule"
+    )
+    arena_on = reports["on"].arena
+    assert (
+        arena_on["page_faults"]
+        == arena_on["pages_freed"] + arena_on["cached_idle_pages"]
+    ), "prefix-cache refcount books unbalanced after drain"
+
+    div = {}
+    for mode, cache in (("off", False), ("on", True)):
+        report, handles, _ = _ttft_wall_run(
+            model,
+            divergent,
+            batched=True,
+            page_size=PREFIX_PAGE_SIZE,
+            prefix_cache=cache,
+        )
+        div[mode] = report
+        tokens[f"div_{mode}"] = {
+            h.request_id: h.generated_tokens for h in handles
+        }
+    assert tokens["div_on"] == tokens["div_off"], (
+        "prefix cache changed tokens on the divergent trace"
+    )
+    assert div["on"].requests == div["off"].requests
+    # no full page is shared, so the cache allocates exactly like no-cache
+    assert div["on"].arena["prefix_hits"] == 0
+    assert div["on"].arena["page_faults"] == div["off"].arena["page_faults"]
+
+    return {
+        "batch": GATED_BATCH,
+        "requests": PREFIX_REQUESTS,
+        "base_prompt_len": PREFIX_BASE_LEN,
+        "page_size": PREFIX_PAGE_SIZE,
+        "shared_trace": runs,
+        "page_fault_reduction": (
+            runs["off"]["page_faults"] / runs["on"]["page_faults"]
+        ),
+        "divergent_trace": {
+            "cache_on_page_faults": div["on"].arena["page_faults"],
+            "cache_off_page_faults": div["off"].arena["page_faults"],
+            "prefix_hits": div["on"].arena["prefix_hits"],
+        },
+    }
+
+
 def test_batched_decode_throughput(benchmark):
     model = _build_model()
     engine = MCBPEngine(group_size=4, weight_bits=8)
@@ -478,6 +623,9 @@ def test_batched_decode_throughput(benchmark):
     # prefill grid: chunked batched prefill vs serial, wall-clock TTFT
     prefill_block = _prefill_rows(model)
 
+    # prefix-cache grid: shared-head trace cache on/off + divergent no-op
+    prefix_block = _prefix_cache_block(model)
+
     payload = {
         "benchmark": "batched_decode_throughput",
         "model": config.name,
@@ -496,6 +644,7 @@ def test_batched_decode_throughput(benchmark):
             "results": policy_rows,
         },
         "prefill": prefill_block,
+        "prefix_cache": prefix_block,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -546,6 +695,15 @@ def test_batched_decode_throughput(benchmark):
             f"{r['throughput_tokens_per_step']:.2f} tok/step"
             for r in prefill_block["budget_sweep"]
         )
+        + "\nprefix cache (shared trace): off "
+        f"{prefix_block['shared_trace']['off']['page_faults']} faults / "
+        f"p95 {prefix_block['shared_trace']['off']['ttft_wall_p95_ms']:.2f} ms"
+        "   on "
+        f"{prefix_block['shared_trace']['on']['page_faults']} faults / "
+        f"p95 {prefix_block['shared_trace']['on']['ttft_wall_p95_ms']:.2f} ms"
+        f"   ({prefix_block['page_fault_reduction']:.2f}x fewer faults, "
+        f"{prefix_block['shared_trace']['on']['prefix_tokens_reused']} rows "
+        "reused)"
         + f"\nBSTC decodes: {engine.codec.decode_calls} "
         f"(= {n_matrices} weight matrices)\nreport -> {BENCH_PATH.name}",
     )
@@ -606,4 +764,30 @@ def test_batched_decode_throughput(benchmark):
         f"{prefill_block['batched']['ttft_wall_p95_ms']:.2f} vs "
         f"{prefill_block['serial']['ttft_wall_p95_ms']:.2f} ms "
         f"(gate {PREFILL_TTFT_GATE}x)"
+    )
+    # CI gate: the prefix cache must not lose the cache-off TTFT p95 on the
+    # shared-prefix trace (it skips most prompt rows, so it should win; the
+    # gate only absorbs best-of-3 timer noise).  Bit-exactness of tokens,
+    # schedules and the divergent no-op assert inside _prefix_cache_block.
+    shared_on = prefix_block["shared_trace"]["on"]
+    shared_off = prefix_block["shared_trace"]["off"]
+    assert (
+        shared_on["ttft_wall_p95_ms"]
+        <= PREFIX_TTFT_GATE * shared_off["ttft_wall_p95_ms"]
+    ), (
+        "prefix cache lost to no-cache on shared-prefix TTFT p95: "
+        f"{shared_on['ttft_wall_p95_ms']:.2f} vs "
+        f"{shared_off['ttft_wall_p95_ms']:.2f} ms (gate {PREFIX_TTFT_GATE}x)"
+    )
+    # CI gate: sharing must show up in the allocator -- strictly fewer page
+    # faults (= fewer KV bytes materialised) and real reuse on the shared
+    # trace, without any copy-on-write explosion (deterministic counters)
+    assert shared_on["page_faults"] < shared_off["page_faults"], (
+        "prefix cache failed to reduce page faults on the shared trace: "
+        f"{shared_on['page_faults']} vs {shared_off['page_faults']}"
+    )
+    assert shared_on["prefix_hits"] > 0
+    assert shared_on["prefix_tokens_reused"] > 0
+    assert shared_on["peak_pages_in_use"] <= shared_off["peak_pages_in_use"], (
+        "prefix cache raised peak arena occupancy on the shared trace"
     )

@@ -211,12 +211,20 @@ class KVCache:
 
 @dataclass
 class AttentionOutput:
-    """Attention result plus sparsity statistics for the cost models."""
+    """Attention result plus sparsity statistics for the cost models.
+
+    ``row_keys_attended`` / ``row_keys_total`` break the scalar counts down
+    per query row (``(n_queries,)`` int64); the serving layer's prefix cache
+    records them per prompt row so a later cache-hit session can credit the
+    skipped rows' statistics bit-exactly.
+    """
 
     output: np.ndarray
     keys_attended: int
     keys_total: int
     selected_fraction: float
+    row_keys_attended: Optional[np.ndarray] = None
+    row_keys_total: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -241,7 +249,13 @@ class ChunkedAttentionOutput(BatchedAttentionOutput):
     ``output`` is the merged-head context for *every chunk row*, flattened
     back to ``(total_rows, hidden)`` in the same stream order the queries
     came in (stream 0's rows first), rather than one row per stream.
+    ``row_keys_attended`` / ``row_keys_total`` carry one per-row int64 array
+    per stream (this chunk's rows only), for the prefix cache's bit-exact
+    metric crediting.
     """
+
+    row_keys_attended: Optional[List[np.ndarray]] = None
+    row_keys_total: Optional[List[np.ndarray]] = None
 
 
 class MultiHeadAttention:
@@ -361,13 +375,17 @@ class MultiHeadAttention:
         merged = self._merge_heads(context)
         output = self.wo(merged)
 
-        keys_attended = int(full_mask.sum())
-        keys_total = int(mask.sum())
+        row_attended = full_mask.sum(axis=1).astype(np.int64)
+        row_total = mask.sum(axis=1).astype(np.int64)
+        keys_attended = int(row_attended.sum())
+        keys_total = int(row_total.sum())
         return AttentionOutput(
             output=output,
             keys_attended=keys_attended,
             keys_total=keys_total,
             selected_fraction=keys_attended / keys_total if keys_total else 1.0,
+            row_keys_attended=row_attended,
+            row_keys_total=row_total,
         )
 
     # -- fused batched decode -------------------------------------------------
@@ -584,6 +602,8 @@ class MultiHeadAttention:
         flat = np.empty((int(offsets[-1]), self.hidden_size))
         keys_attended = np.zeros(n_streams, dtype=np.int64)
         keys_total = np.zeros(n_streams, dtype=np.int64)
+        row_attended: List[np.ndarray] = []
+        row_total: List[np.ndarray] = []
         for b in range(n_streams):
             n_rows, n_keys, w = int(row_counts[b]), int(lengths[b]), int(total_lens[b])
             q_rows = q[offsets[b] : offsets[b + 1]]
@@ -609,10 +629,14 @@ class MultiHeadAttention:
             probs = softmax(logits, axis=-1)
             context = np.einsum("hqk,hkd->hqd", probs[..., :n_keys], vh)
             flat[offsets[b] : offsets[b + 1]] = self._merge_heads(context)
-            keys_attended[b] = int(full_mask.sum())
-            keys_total[b] = int(mask.sum())
+            row_attended.append(full_mask.sum(axis=1).astype(np.int64))
+            row_total.append(mask.sum(axis=1).astype(np.int64))
+            keys_attended[b] = int(row_attended[b].sum())
+            keys_total[b] = int(row_total[b].sum())
         return ChunkedAttentionOutput(
             output=flat,
             keys_attended=keys_attended,
             keys_total=keys_total,
+            row_keys_attended=row_attended,
+            row_keys_total=row_total,
         )

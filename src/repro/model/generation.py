@@ -72,6 +72,17 @@ class IncrementalDecoder:
     decoder's KV caches are thin handles onto one arena session instead of
     standalone buffers; :meth:`release` returns the session's pages once the
     stream is finished.
+
+    With ``prefix_cache=True`` (requires an arena) the decoder consults the
+    arena's cross-request prefix index before prefilling: prompt rows whose
+    KV pages are already cached are mapped into the session read-only and
+    their prefill compute is *skipped* -- only the novel suffix (always at
+    least the last prompt row, whose logits sample the first token) runs
+    through the model.  K/V rows are deterministic functions of the exact
+    token prefix, and the skipped rows' attention statistics are credited
+    from the per-row counts the registering prefill recorded, so tokens and
+    metrics stay bit-identical to a cold prefill.  Completed prefills
+    register their own full prompt pages back into the index.
     """
 
     def __init__(
@@ -79,10 +90,12 @@ class IncrementalDecoder:
         model,
         predictor: Optional[KeyPredictor] = None,
         arena=None,
+        prefix_cache: bool = False,
     ) -> None:
         self.model = model
         self.predictor = predictor
         self.arena = arena
+        self.prefix_cache = bool(prefix_cache and arena is not None)
         # route through the model's cache hook so wrappers can customise it
         self.caches: List[KVCache] = (
             model.new_cache() if arena is None else model.new_cache(arena=arena)
@@ -96,6 +109,12 @@ class IncrementalDecoder:
         self._prefill_pending: Optional[List[int]] = None
         self._prefill_done = 0
         self._prefill_partial: Optional[ForwardStats] = None
+        # prefix-cache bookkeeping: prompt rows mapped from the index, the
+        # prompt itself (for registration on completion) and the per-chunk
+        # per-row attention counts accumulated towards that registration
+        self.prefix_reused_tokens = 0
+        self._prompt_tokens: Optional[List[int]] = None
+        self._prefill_rows: Optional[List[tuple]] = None
 
     def release(self) -> None:
         """Free the KV storage held by this stream (idempotent).
@@ -120,12 +139,58 @@ class IncrementalDecoder:
             raise ValueError("prompt must contain at least one token")
         if self.prefill_stats is not None or self._prefill_pending is not None:
             raise RuntimeError("decoder was already prefilled")
+        n_reused, credit_att, credit_tot = self._acquire_prefix(prompt_tokens)
+        # run only the novel suffix; the right-aligned causal mask gives the
+        # suffix rows their absolute positions over the mapped cache rows, so
+        # each row is bit-identical to the same row of a cold full prefill
         logits, stats = self.model.forward(
-            prompt_tokens, caches=self.caches, predictor=self.predictor
+            prompt_tokens[n_reused:], caches=self.caches, predictor=self.predictor
         )
+        if n_reused:
+            stats.keys_attended += int(credit_att.sum())
+            stats.keys_total += int(credit_tot.sum())
+            stats.tokens_processed += n_reused
+            if stats.row_keys_attended is not None:
+                stats.row_keys_attended = np.concatenate(
+                    [credit_att, stats.row_keys_attended]
+                )
+                stats.row_keys_total = np.concatenate(
+                    [credit_tot, stats.row_keys_total]
+                )
         self.prefill_stats = stats
         self.last_logits = logits
+        if self.prefix_cache:
+            self._prompt_tokens = prompt_tokens
+            self._prefill_rows = (
+                [(stats.row_keys_attended, stats.row_keys_total)]
+                if stats.row_keys_attended is not None
+                else None
+            )
+            self._register_prefix()
         return greedy_sample(logits)
+
+    def _acquire_prefix(self, prompt_tokens: List[int]):
+        """Map cached prompt pages into this decoder's fresh arena session."""
+        if not self.prefix_cache:
+            return 0, None, None
+        n_reused, att, tot = self.arena.acquire_prefix(
+            self.caches[0].arena_session, prompt_tokens
+        )
+        self.prefix_reused_tokens = n_reused
+        return n_reused, att, tot
+
+    def _register_prefix(self) -> None:
+        """Index this decoder's completed prompt pages for future reuse."""
+        rows, self._prefill_rows = self._prefill_rows, None
+        if not self.prefix_cache or self._prompt_tokens is None or rows is None:
+            return
+        if any(att is None or tot is None for att, tot in rows):
+            return  # a chunk ran without per-row stats: nothing registrable
+        att = np.concatenate([np.asarray(a, dtype=np.int64) for a, _ in rows])
+        tot = np.concatenate([np.asarray(t, dtype=np.int64) for _, t in rows])
+        self.arena.register_prefix(
+            self.caches[0].arena_session, self._prompt_tokens, att, tot
+        )
 
     # -- chunked prefill (the serving engine's batched admission path) ---------
 
@@ -146,6 +211,21 @@ class IncrementalDecoder:
         self._prefill_pending = prompt_tokens
         self._prefill_done = 0
         self._prefill_partial = ForwardStats()
+        if self.prefix_cache:
+            self._prompt_tokens = prompt_tokens
+            self._prefill_rows = []
+            # cache-hit rows count as already-done chunks: the existing
+            # resume-from-chunk machinery then runs only the novel suffix
+            # (n_reused <= len(prompt) - 1, so at least one row remains)
+            n_reused, att, tot = self._acquire_prefix(prompt_tokens)
+            if n_reused:
+                self._prefill_done = n_reused
+                self._prefill_partial = ForwardStats(
+                    keys_attended=int(att.sum()),
+                    keys_total=int(tot.sum()),
+                    tokens_processed=n_reused,
+                )
+                self._prefill_rows.append((att, tot))
 
     @property
     def prefill_remaining(self) -> int:
@@ -233,12 +313,20 @@ class IncrementalDecoder:
             partial.keys_attended += stats_list[i].keys_attended
             partial.keys_total += stats_list[i].keys_total
             partial.tokens_processed += stats_list[i].tokens_processed
+            if decoder._prefill_rows is not None:
+                decoder._prefill_rows.append(
+                    (
+                        stats_list[i].row_keys_attended,
+                        stats_list[i].row_keys_total,
+                    )
+                )
             decoder._prefill_done += n
             if decoder.prefill_remaining == 0:
                 decoder.prefill_stats = partial
                 decoder._prefill_pending = None
                 decoder._prefill_partial = None
                 decoder.last_logits = logits[i : i + 1]
+                decoder._register_prefix()
                 prefill_out.append(greedy_sample(logits[i]))
             else:
                 prefill_out.append(None)

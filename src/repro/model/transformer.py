@@ -32,11 +32,25 @@ KeyPredictor = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 @dataclass
 class ForwardStats:
-    """Aggregated statistics of one forward pass (per layer sums)."""
+    """Aggregated statistics of one forward pass (per layer sums).
+
+    ``row_keys_attended`` / ``row_keys_total`` optionally carry the same
+    counts broken down per processed row (``(tokens_processed,)`` int64,
+    summed over layers).  The serving prefix cache stores them per prompt
+    page so cache-hit sessions can credit skipped rows' statistics exactly;
+    they are excluded from equality/repr so ``ForwardStats`` comparisons
+    keep meaning "same scalar totals".
+    """
 
     keys_attended: int = 0
     keys_total: int = 0
     tokens_processed: int = 0
+    row_keys_attended: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False
+    )
+    row_keys_total: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def attention_density(self) -> float:
@@ -49,6 +63,25 @@ class ForwardStats:
     def merge(self, attn: AttentionOutput) -> None:
         self.keys_attended += attn.keys_attended
         self.keys_total += attn.keys_total
+        self.add_rows(
+            getattr(attn, "row_keys_attended", None),
+            getattr(attn, "row_keys_total", None),
+        )
+
+    def add_rows(
+        self, row_attended: Optional[np.ndarray], row_total: Optional[np.ndarray]
+    ) -> None:
+        """Accumulate one layer's per-row counts (no-op when unavailable)."""
+        if row_attended is None or row_total is None:
+            return
+        row_attended = np.asarray(row_attended, dtype=np.int64)
+        row_total = np.asarray(row_total, dtype=np.int64)
+        if self.row_keys_attended is None:
+            self.row_keys_attended = row_attended.copy()
+            self.row_keys_total = row_total.copy()
+        else:
+            self.row_keys_attended = self.row_keys_attended + row_attended
+            self.row_keys_total = self.row_keys_total + row_total
 
 
 class DecoderLayer:
@@ -417,6 +450,10 @@ class QuantizedTransformer:
             for b in range(n_streams):
                 stats[b].keys_attended += int(attn.keys_attended[b])
                 stats[b].keys_total += int(attn.keys_total[b])
+                if attn.row_keys_attended is not None:
+                    stats[b].add_rows(
+                        attn.row_keys_attended[b], attn.row_keys_total[b]
+                    )
 
             normed2 = layer.norm_fn(hidden)
             up = self._qlin_forward(qentry["ffn_up"], f"layer{i}.ffn_up", normed2)
@@ -468,13 +505,17 @@ class QuantizedTransformer:
         probs = softmax(logits, axis=-1)
         context = np.einsum("hqk,hkd->hqd", probs, vh)
         merged = attn_mod._merge_heads(context)
-        keys_attended = int(full_mask.sum())
-        keys_total = int(mask.sum())
+        row_attended = full_mask.sum(axis=1).astype(np.int64)
+        row_total = mask.sum(axis=1).astype(np.int64)
+        keys_attended = int(row_attended.sum())
+        keys_total = int(row_total.sum())
         return AttentionOutput(
             output=merged,
             keys_attended=keys_attended,
             keys_total=keys_total,
             selected_fraction=keys_attended / keys_total if keys_total else 1.0,
+            row_keys_attended=row_attended,
+            row_keys_total=row_total,
         )
 
     def new_cache(self, arena=None) -> List[KVCache]:

@@ -19,10 +19,19 @@ simulator:
   fancy-index gather per layer** (no per-session stacking loop) and keeps the
   result as a per-layer cache: while the batch composition is stable, each
   subsequent step copies only the newly appended rows -- ``O(B * hidden)``
-  bytes per step, independent of context length.
+  bytes per step, independent of context length;
+* a **prefix cache** shares prompt pages across requests: completed prefills
+  :meth:`register_prefix` their full prompt pages under content keys (the
+  token prefix at each page boundary), new sessions :meth:`acquire_prefix`
+  matching pages read-only with per-page refcounts, and
+  :meth:`~PagedKVArena.append` copies a page on write
+  (:meth:`_ensure_writable`) the moment a session would scribble into a page
+  someone else -- another session or the cache index -- still reads.
+  Refcount-0 cached pages stay *idle* (materialised, off the free list) and
+  are evicted LRU only under ``max_pages`` pressure.
 
 Every counter the serving report exposes (page faults, occupancy, gather
-traffic) lives in :class:`ArenaStats`.
+traffic, prefix-cache hits) lives in :class:`ArenaStats`.
 """
 
 from __future__ import annotations
@@ -46,6 +55,18 @@ class ArenaStats:
     :attr:`repro.model.attention.MultiHeadAttention.stack_copy_bytes`.
     ``view_bytes_copied`` tracks the single-stream materialisations used by
     the non-fused path (:meth:`PagedKVArena.session_keys` / ``session_values``).
+
+    Prefix-cache accounting: ``prefix_hits`` / ``prefix_misses`` count
+    :meth:`PagedKVArena.acquire_prefix` outcomes, ``prefix_tokens_reused`` the
+    prompt rows whose prefill compute was skipped, ``prefix_pages_shared`` the
+    page attachments that mapped an existing page instead of faulting a new
+    one, ``cow_copies`` the copy-on-write page duplications, and
+    ``cached_idle_pages`` / ``prefix_evictions`` the refcount-0 pages held by
+    the index right now and those reclaimed LRU under ``max_pages`` pressure.
+    Conservation: ``page_faults - pages_freed == pages_in_use +
+    cached_idle_pages`` at every point in time (with the cache off the last
+    term is zero and the PR-3 drain identity ``page_faults == pages_freed``
+    is unchanged).
     """
 
     page_size: int
@@ -62,6 +83,13 @@ class ArenaStats:
     gather_incremental: int = 0
     gather_bytes_copied: int = 0
     view_bytes_copied: int = 0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_tokens_reused: int = 0
+    prefix_pages_shared: int = 0
+    cow_copies: int = 0
+    cached_idle_pages: int = 0
+    prefix_evictions: int = 0
 
     @property
     def occupancy(self) -> float:
@@ -82,6 +110,30 @@ class _Session:
     def __init__(self, n_layers: int) -> None:
         self.pages: List[int] = []
         self.lengths = np.zeros(n_layers, dtype=np.int64)
+
+
+class _PrefixNode:
+    """One cached full page of prompt KV, keyed by its token prefix.
+
+    ``row_attended`` / ``row_total`` record the per-row attention counts
+    (summed over layers) the registering prefill computed for this page's
+    rows, so a cache-hit session can credit the skipped rows' metrics
+    bit-exactly.  ``tick`` is the LRU clock for idle-page eviction.
+    """
+
+    __slots__ = ("page", "row_attended", "row_total", "tick")
+
+    def __init__(
+        self,
+        page: int,
+        row_attended: np.ndarray,
+        row_total: np.ndarray,
+        tick: int,
+    ) -> None:
+        self.page = page
+        self.row_attended = row_attended
+        self.row_total = row_total
+        self.tick = tick
 
 
 class PagedKVArena:
@@ -133,6 +185,14 @@ class PagedKVArena:
         self.stats = ArenaStats(page_size=page_size, n_pages=initial_pages)
         # per-layer gather caches: {"sids", "lengths", "k", "v", "cap"}
         self._gather: List[Optional[dict]] = [None] * n_layers
+        # prefix cache: content key (token prefix at a page boundary) -> node,
+        # plus the reverse page -> key map (1:1) and per-page refcounts.
+        # Pages with a _ref entry are live; indexed pages without one are
+        # idle-cached (materialised, off the free list, evictable LRU).
+        self._prefix: Dict[Tuple[int, ...], _PrefixNode] = {}
+        self._page_key: Dict[int, Tuple[int, ...]] = {}
+        self._ref: Dict[int, int] = {}
+        self._tick = 0
 
     # -- session lifecycle -----------------------------------------------------
 
@@ -182,11 +242,27 @@ class PagedKVArena:
         self._invalidate(session_id)
 
     def _release_pages(self, entry: _Session) -> None:
-        if entry.pages:
-            self._free.extend(reversed(entry.pages))
-            self.stats.pages_freed += len(entry.pages)
-            self.stats.pages_in_use -= len(entry.pages)
-            entry.pages = []
+        # reversed keeps the pre-sharing LIFO discipline: the session's first
+        # page lands on top of the free list, so allocation order is stable
+        for page in reversed(entry.pages):
+            self._release_page(page)
+        entry.pages = []
+
+    def _release_page(self, page: int) -> None:
+        """Drop one reference; the last one parks or frees the page."""
+        ref = self._ref.get(page, 1) - 1
+        if ref > 0:
+            self._ref[page] = ref
+            return
+        self._ref.pop(page, None)
+        self.stats.pages_in_use -= 1
+        if page in self._page_key:
+            # the prefix index still reads it: park as idle-cached instead of
+            # freeing, so a future identical prompt can map it back in
+            self.stats.cached_idle_pages += 1
+        else:
+            self._free.append(page)
+            self.stats.pages_freed += 1
 
     def _invalidate(self, session_id: int) -> None:
         """Drop gather caches whose buffers hold rows of ``session_id``.
@@ -222,6 +298,136 @@ class PagedKVArena:
             return True
         return int(n_pages) <= int(self.max_pages * watermark)
 
+    # -- prefix cache ----------------------------------------------------------
+
+    def _touch(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def _walk_prefix(self, tokens: Tuple[int, ...]) -> List[_PrefixNode]:
+        """Longest chain of cached full pages covering a prompt's head."""
+        ps = self.page_size
+        nodes: List[_PrefixNode] = []
+        k = 1
+        while k * ps <= len(tokens):
+            node = self._prefix.get(tokens[: k * ps])
+            if node is None:
+                break
+            nodes.append(node)
+            k += 1
+        return nodes
+
+    def probe_prefix(self, tokens: Sequence[int]) -> int:
+        """Reusable-row count a session with this prompt would get on a hit.
+
+        Read-only (no refcounts move, no LRU ticks): admission control uses it
+        to charge only the *novel* suffix of a prompt against the page budget.
+        Capped at ``len(tokens) - 1`` because the last prompt row's logits must
+        always be computed live to sample the first token.
+        """
+        tokens = tuple(int(t) for t in tokens)
+        matched = len(self._walk_prefix(tokens)) * self.page_size
+        return max(0, min(matched, len(tokens) - 1))
+
+    def acquire_prefix(
+        self, session_id: int, tokens: Sequence[int]
+    ) -> Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Map cached prompt pages into an empty session's page table.
+
+        Returns ``(n_reused, row_attended, row_total)``: the number of prompt
+        rows whose KV is now mapped (prefill may skip computing them) and the
+        per-row attention counts the registering prefill recorded for exactly
+        those rows (for bit-exact metrics).  ``(0, None, None)`` on a miss.
+        Attached pages are shared read-only -- refcounts go up, and the first
+        append into a partially-consumed tail page copies it
+        (:meth:`_ensure_writable`).
+        """
+        entry = self._sessions[session_id]
+        if entry.pages or entry.lengths.any():
+            raise RuntimeError("acquire_prefix requires an empty session")
+        tokens = tuple(int(t) for t in tokens)
+        nodes = self._walk_prefix(tokens)
+        n_reused = max(0, min(len(nodes) * self.page_size, len(tokens) - 1))
+        if n_reused <= 0:
+            self.stats.prefix_misses += 1
+            return 0, None, None
+        n_attach = -(-n_reused // self.page_size)
+        for node in nodes[:n_attach]:
+            page = node.page
+            if page in self._ref:
+                self._ref[page] += 1  # shared with another live session
+            else:
+                # revive an idle cached page: back in use without a fault
+                self._ref[page] = 1
+                self.stats.cached_idle_pages -= 1
+                self.stats.pages_in_use += 1
+                self.stats.peak_pages_in_use = max(
+                    self.stats.peak_pages_in_use, self.stats.pages_in_use
+                )
+            node.tick = self._touch()
+            entry.pages.append(page)
+        entry.lengths[:] = n_reused
+        self.stats.prefix_hits += 1
+        self.stats.prefix_tokens_reused += n_reused
+        self.stats.prefix_pages_shared += n_attach
+        row_attended = np.concatenate(
+            [node.row_attended for node in nodes[:n_attach]]
+        )[:n_reused]
+        row_total = np.concatenate(
+            [node.row_total for node in nodes[:n_attach]]
+        )[:n_reused]
+        return n_reused, row_attended, row_total
+
+    def register_prefix(
+        self,
+        session_id: int,
+        tokens: Sequence[int],
+        row_attended: Optional[np.ndarray] = None,
+        row_total: Optional[np.ndarray] = None,
+    ) -> int:
+        """Index a fully-prefilled session's prompt pages under content keys.
+
+        Every *full* page of the prompt becomes reusable by later sessions
+        whose prompt starts with the same tokens.  ``row_attended`` /
+        ``row_total`` must give the per-row attention counts (summed over
+        layers) of the prompt rows; without them nothing is registered, since
+        a later hit could not credit the skipped rows' metrics exactly.
+        Already-known prefixes (e.g. this session itself was a cache hit)
+        just refresh their LRU tick.  Returns the number of pages newly
+        indexed.
+        """
+        if row_attended is None or row_total is None:
+            return 0
+        entry = self._sessions[session_id]
+        tokens = tuple(int(t) for t in tokens)
+        n_tokens = len(tokens)
+        ps = self.page_size
+        if int(entry.lengths.min()) < n_tokens:
+            return 0  # prompt rows not fully materialised: nothing to share
+        row_attended = np.asarray(row_attended, dtype=np.int64)
+        row_total = np.asarray(row_total, dtype=np.int64)
+        if row_attended.shape[0] < n_tokens or row_total.shape[0] < n_tokens:
+            return 0
+        added = 0
+        for k in range(1, n_tokens // ps + 1):
+            key = tokens[: k * ps]
+            node = self._prefix.get(key)
+            if node is not None:
+                node.tick = self._touch()
+                continue
+            page = entry.pages[k - 1]
+            if page in self._page_key:
+                continue  # already backs another key; never corrupt the 1:1 map
+            self._prefix[key] = _PrefixNode(
+                page,
+                row_attended[(k - 1) * ps : k * ps].copy(),
+                row_total[(k - 1) * ps : k * ps].copy(),
+                self._touch(),
+            )
+            self._page_key[page] = key
+            added += 1
+        return added
+
     # -- appends ---------------------------------------------------------------
 
     def seq_len(self, session_id: int, layer: int = 0) -> int:
@@ -249,7 +455,9 @@ class PagedKVArena:
             entry.pages.append(self._take_page())
         pos, row = old, 0
         while row < n_new:
-            page = entry.pages[pos // ps]
+            idx = pos // ps
+            self._ensure_writable(entry, idx)
+            page = entry.pages[idx]
             slot = pos % ps
             n = min(ps - slot, n_new - row)
             self._k[layer, page, slot : slot + n] = keys[row : row + n]
@@ -258,6 +466,27 @@ class PagedKVArena:
             row += n
         entry.lengths[layer] = new
         self.stats.tokens_appended += n_new
+
+    def _ensure_writable(self, entry: _Session, idx: int) -> None:
+        """Copy-on-write guard: give the session a private copy of page ``idx``.
+
+        A page must not be written while anyone else reads it -- another
+        session (refcount > 1) or the prefix index itself (the page backs a
+        registered prefix, so its rows must stay exactly the registered
+        content).  All layers are copied at once because page tables are
+        shared across layers: the first layer's append re-points the table and
+        every later layer writes the (already writable) copy in place.  The
+        copied rows are bit-identical, so live gather caches stay valid.
+        """
+        page = entry.pages[idx]
+        if self._ref.get(page, 1) <= 1 and page not in self._page_key:
+            return
+        new_page = self._take_page()
+        self._k[:, new_page] = self._k[:, page]
+        self._v[:, new_page] = self._v[:, page]
+        entry.pages[idx] = new_page
+        self.stats.cow_copies += 1
+        self._release_page(page)
 
     def append_batch(
         self,
@@ -281,9 +510,14 @@ class PagedKVArena:
             self.append(sid, layer, keys, values)
 
     def _take_page(self) -> int:
-        if not self._free:
-            self._grow()
+        if not self._free and not self._grow() and not self._evict_idle_page():
+            raise RuntimeError(
+                f"arena exhausted: {self.stats.pages_in_use} pages in use, "
+                f"{len(self._free)} free, {self.stats.cached_idle_pages} "
+                f"cached idle, max_pages={self.max_pages}"
+            )
         page = self._free.pop()
+        self._ref[page] = 1
         self.stats.page_faults += 1
         self.stats.pages_in_use += 1
         self.stats.peak_pages_in_use = max(
@@ -291,15 +525,14 @@ class PagedKVArena:
         )
         return page
 
-    def _grow(self) -> None:
+    def _grow(self) -> bool:
+        """Double the pool (bounded by ``max_pages``); false when capped."""
         old_n = self.n_pages
         new_n = old_n * 2
         if self.max_pages is not None:
             new_n = min(new_n, self.max_pages)
         if new_n <= old_n:
-            raise RuntimeError(
-                f"arena exhausted: all {old_n} pages in use (max_pages bound)"
-            )
+            return False
         shape = (self.n_layers, new_n, self.page_size, self.hidden_size)
         for attr in ("_k", "_v"):
             grown = np.zeros(shape, dtype=self._k.dtype)
@@ -308,6 +541,26 @@ class PagedKVArena:
         self._free.extend(range(new_n - 1, old_n - 1, -1))
         self.stats.pool_grows += 1
         self.stats.n_pages = new_n
+        return True
+
+    def _evict_idle_page(self) -> bool:
+        """Reclaim the least-recently-used idle cached page onto the free list."""
+        best_key = None
+        best_node = None
+        for key, node in self._prefix.items():
+            if node.page in self._ref:
+                continue  # live: some session still maps it
+            if best_node is None or node.tick < best_node.tick:
+                best_key, best_node = key, node
+        if best_node is None:
+            return False
+        del self._prefix[best_key]
+        del self._page_key[best_node.page]
+        self._free.append(best_node.page)
+        self.stats.pages_freed += 1
+        self.stats.cached_idle_pages -= 1
+        self.stats.prefix_evictions += 1
+        return True
 
     # -- truncation (KVCache.clear support) ------------------------------------
 

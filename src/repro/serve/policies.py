@@ -41,6 +41,7 @@ also re-verify drain behaviour -- see ``src/repro/serve/README.md``.
 from __future__ import annotations
 
 import math
+import warnings
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
@@ -88,6 +89,12 @@ def _edf_key(handle: "RequestHandle") -> Tuple:
 
 
 # -- admission ----------------------------------------------------------------
+
+
+# one-shot process-wide latch: pairing ArenaBudgetAdmission with an engine
+# that has no arena is legal (the gate just admits everything) but almost
+# certainly a misconfiguration, so the first such submit warns once
+_arena_budget_warned = False
 
 
 class AdmissionPolicy(ABC):
@@ -148,6 +155,26 @@ class AdmissionPolicy(ABC):
         The default accepts everything.
         """
 
+    def on_admit(self, handle: "RequestHandle", engine: "ServingEngine") -> None:
+        """Lifecycle hook: ``handle`` just took a slot.
+
+        Fired by the engine immediately after each admission commits (still
+        inside the admission loop, so later candidates in the same step are
+        gated against whatever state this call pins).  Stateful policies use
+        it to record per-handle resource reservations; the default is a
+        no-op.
+        """
+
+    def on_release(self, handle: "RequestHandle", engine: "ServingEngine") -> None:
+        """Lifecycle hook: ``handle`` left the batch for good (or for now).
+
+        Fired on retirement, on cancellation (queued *or* active -- a
+        cancelled request must stop being charged immediately), and on a
+        realized preemption (rolled-back tentative victims keep their
+        state).  Must be idempotent and safe for handles that were never
+        admitted.  The default is a no-op.
+        """
+
 
 class FIFOAdmission(AdmissionPolicy):
     """Earliest arrival first, submission order on ties (the classic queue)."""
@@ -190,9 +217,18 @@ class ArenaBudgetAdmission(AdmissionPolicy):
     queueing delay for a hard occupancy bound (the ROADMAP's "reject/queue
     when the pool is near ``max_pages`` instead of growing or raising").
 
-    Engines without an arena, arenas without a ``max_pages`` budget, and an
-    idle engine (nothing active -- refusing then would deadlock the queue)
-    admit unconditionally.
+    Engines without an arena (a one-shot ``RuntimeWarning`` flags the inert
+    pairing), arenas without a ``max_pages`` budget, and an idle engine
+    (nothing active -- refusing then would deadlock the queue) admit
+    unconditionally.
+
+    Reservations are pinned per handle at admission (:meth:`on_admit`) and
+    dropped the moment the handle stops holding KV (:meth:`on_release`:
+    retirement, realized preemption, or cancellation -- including a cancel
+    while still queued, which must not leave a phantom charge).  With the
+    engine's ``prefix_cache`` enabled, an admission is charged only for its
+    *novel suffix*: pages fully covered by the arena's prefix index are
+    shared mappings, not new allocations (see :meth:`_charged_pages`).
 
     Combined with a *preemptive* scheduling policy (not one of the shipped
     pairs), the watermark can transiently overshoot: admissions are gated
@@ -243,6 +279,55 @@ class ArenaBudgetAdmission(AdmissionPolicy):
     def _lifetime_pages(cls, arena, handle: "RequestHandle") -> int:
         return cls._request_pages(arena, handle.request)
 
+    def _charged_pages(
+        self, arena, handle: "RequestHandle", engine: "ServingEngine"
+    ) -> int:
+        """Pages this admission is charged: lifetime minus cached prefix.
+
+        With the engine's ``prefix_cache`` on, pages the session will *map*
+        from the arena's prefix index are shared, not allocated, so only the
+        novel suffix counts against the watermark.  Only fully cached pages
+        are discounted (a partially matched page is copy-on-written into a
+        fresh one the moment the session appends, so it is charged in full).
+        The probe keys on the session's replay stream -- prompt plus any
+        tokens generated before a preemption -- which is exactly what a
+        resume re-prefills.
+        """
+        pages = self._lifetime_pages(arena, handle)
+        if not getattr(engine, "prefix_cache", False):
+            return pages
+        session = handle.session
+        replay = list(session.request.prompt_tokens) + list(
+            session.generated_tokens
+        )
+        reused = arena.probe_prefix(replay)
+        return max(0, pages - reused // arena.page_size)
+
+    def on_admit(self, handle: "RequestHandle", engine: "ServingEngine") -> None:
+        """Pin the admitted handle's page reservation on the handle itself.
+
+        Recorded at admission time (before the session's prefill runs) so
+        the suffix discount reflects the prefix index as the gate saw it;
+        later candidates in the same step already count this reservation.
+        """
+        self.inner.on_admit(handle, engine)
+        arena = engine.arena
+        if arena is None or arena.max_pages is None:
+            return
+        handle.reserved_pages = self._charged_pages(arena, handle, engine)
+
+    def on_release(self, handle: "RequestHandle", engine: "ServingEngine") -> None:
+        """Drop the reservation the moment the handle stops holding KV.
+
+        Covers retirement, realized preemption, and cancellation -- a
+        request cancelled while still *queued* never held a reservation
+        (``reserved_pages`` is ``None``), and one cancelled while active
+        stops being charged immediately rather than haunting the watermark
+        until the step it would have retired.
+        """
+        self.inner.on_release(handle, engine)
+        handle.reserved_pages = None
+
     def check_submit(self, request, engine: "ServingEngine") -> None:
         """Reject requests whose lifetime could never fit ``max_pages``.
 
@@ -253,7 +338,19 @@ class ArenaBudgetAdmission(AdmissionPolicy):
         """
         self.inner.check_submit(request, engine)
         arena = engine.arena
-        if arena is None or arena.max_pages is None:
+        if arena is None:
+            global _arena_budget_warned
+            if not _arena_budget_warned:
+                _arena_budget_warned = True
+                warnings.warn(
+                    "ArenaBudgetAdmission is paired with an engine that has "
+                    "no KV arena; the page-budget gate is inert and every "
+                    "request admits unconditionally",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        if arena.max_pages is None:
             return
         needed = self._request_pages(arena, request)
         if needed > arena.max_pages:
@@ -273,10 +370,13 @@ class ArenaBudgetAdmission(AdmissionPolicy):
         if engine.n_active == 0:
             return True  # forced progress: an empty engine must not starve
         reserved = sum(
-            self._lifetime_pages(arena, h) for h in engine.active_handles
+            h.reserved_pages
+            if h.reserved_pages is not None
+            else self._lifetime_pages(arena, h)
+            for h in engine.active_handles
         )
         return arena.within_watermark(
-            reserved + self._lifetime_pages(arena, handle),
+            reserved + self._charged_pages(arena, handle, engine),
             watermark=self.watermark,
         )
 

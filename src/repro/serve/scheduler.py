@@ -242,7 +242,14 @@ class RequestHandle:
     submission sequence number policies use as a deterministic tie-breaker.
     """
 
-    __slots__ = ("session", "index", "on_token", "on_complete", "cancelled")
+    __slots__ = (
+        "session",
+        "index",
+        "on_token",
+        "on_complete",
+        "cancelled",
+        "reserved_pages",
+    )
 
     def __init__(
         self,
@@ -256,6 +263,9 @@ class RequestHandle:
         self.on_token = on_token
         self.on_complete = on_complete
         self.cancelled = False
+        # page reservation pinned by the admission policy while the handle
+        # is active (None when unadmitted, released, or policy-unmanaged)
+        self.reserved_pages: Optional[int] = None
 
     @property
     def request(self) -> Request:
@@ -332,7 +342,19 @@ class ServingEngine:
         geometric growth).  Set it when pairing the engine with
         :class:`~repro.serve.policies.ArenaBudgetAdmission`, whose watermark
         gate is relative to this bound -- with an unbounded arena the gate
-        has nothing to enforce and admits everything.
+        has nothing to enforce and admits everything.  An explicit
+        ``max_pages`` on an engine that resolves to *no* arena raises
+        ``ValueError`` (the budget would be silently unenforced), as does
+        combining it with an externally built ``PagedKVArena`` instance
+        (whose own constructor owns the bound).
+    prefix_cache:
+        Share prompt KV across requests through the arena's content-keyed
+        prefix index: completed prefills register their prompt pages, later
+        sessions with a matching prompt head map those pages read-only and
+        skip the matched rows' prefill compute (copy-on-write protects
+        shared pages; see :class:`~repro.serve.kv_arena.PagedKVArena`).
+        Tokens and per-request metrics are bit-identical to a cold run;
+        requires an arena (``ValueError`` otherwise).
     admission:
         :class:`~repro.serve.policies.AdmissionPolicy` ordering and gating
         the ready queue; defaults to FIFO.
@@ -369,6 +391,7 @@ class ServingEngine:
         scheduling: Optional[SchedulingPolicy] = None,
         prefill_token_budget: Optional[int] = None,
         batched_prefill: Optional[bool] = None,
+        prefix_cache: bool = False,
     ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
@@ -406,7 +429,28 @@ class ServingEngine:
                 )
         elif arena is False:
             arena = None
+        elif isinstance(arena, PagedKVArena) and max_pages is not None:
+            # the instance's own constructor set (or declined) the bound;
+            # accepting a second one here would silently shadow it
+            raise ValueError(
+                "max_pages conflicts with an externally built arena: "
+                "configure max_pages on the PagedKVArena instance instead"
+            )
+        if arena is None and max_pages is not None:
+            raise ValueError(
+                "max_pages was given but the engine resolved to no KV arena "
+                "(arena=False, or the model lacks forward_batch/config "
+                "support); the page budget would be silently unenforced -- "
+                "drop max_pages or run an arena-capable model"
+            )
+        if prefix_cache and arena is None:
+            raise ValueError(
+                "prefix_cache=True requires a KV arena; the engine resolved "
+                "to standalone caches (arena=False, or the model lacks "
+                "forward_batch/config support)"
+            )
         self.arena = arena
+        self.prefix_cache = bool(prefix_cache)
         self.last_step_stats: Optional[Dict[str, int]] = None
         self.current_step = 0
         # arrivals still in the future: min-heap keyed by (arrival_step,
@@ -444,7 +488,11 @@ class ServingEngine:
         self.admission.check_submit(request, self)
         self._request_ids.add(request.request_id)
         session = GenerationSession(
-            request, self.model, predictor=self.predictor, arena=self.arena
+            request,
+            self.model,
+            predictor=self.predictor,
+            arena=self.arena,
+            prefix_cache=self.prefix_cache,
         )
         handle = RequestHandle(
             session, self._submitted, on_token=on_token, on_complete=on_complete
@@ -478,6 +526,10 @@ class ServingEngine:
         handle.session.cancel()
         handle.cancelled = True
         self._cancelled.append(handle)
+        # whether it was active (holding a reservation) or still queued,
+        # the admission policy must drop any page reservation right now --
+        # a cancelled request can never consume the pages it was charged for
+        self.admission.on_release(handle, self)
         return True
 
     @property
@@ -566,6 +618,9 @@ class ServingEngine:
             admitted.append(handle)
             self._queued_count -= 1
             free -= 1
+            # pin the reservation now so later candidates in this same loop
+            # are gated against it (admissions are never rolled back)
+            self.admission.on_admit(handle, self)
 
         # commit or roll back the evictions: only as many victims stay
         # preempted as the admissions actually needed beyond the slots that
@@ -582,6 +637,9 @@ class ServingEngine:
                 victim.session.preempt(step)
                 self._push_ready(victim)
                 self._queued_count += 1
+                # realized eviction: its KV is gone, so its reservation is
+                # too (restored victims above keep theirs untouched)
+                self.admission.on_release(victim, self)
 
         # the sessions that kept their slots decode this step; prefilling
         # survivors rejoin the chunk budget below (continuous batching: old
@@ -678,6 +736,7 @@ class ServingEngine:
                 self._active.remove(handle)
                 handle.session.release_kv()  # pages return to the pool now
                 self._finished.append(handle)
+                self.admission.on_release(handle, self)
                 retired += 1
                 if handle.on_complete is not None:
                     handle.on_complete(handle, handle.session.to_metrics())

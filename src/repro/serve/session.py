@@ -168,13 +168,15 @@ class GenerationSession:
         model,
         predictor: Optional[KeyPredictor] = None,
         arena=None,
+        prefix_cache: bool = False,
     ) -> None:
         self.request = request
         self.model = model
         self.predictor = predictor
         self.arena = arena
+        self.prefix_cache = bool(prefix_cache and arena is not None)
         self.decoder: Optional[IncrementalDecoder] = IncrementalDecoder(
-            model, predictor=predictor, arena=arena
+            model, predictor=predictor, arena=arena, prefix_cache=self.prefix_cache
         )
         self.state = SessionState.QUEUED
         self.generated_tokens: List[int] = []
@@ -230,7 +232,10 @@ class GenerationSession:
             )
         self.state = SessionState.PREFILLING
         self.decoder = IncrementalDecoder(
-            self.model, predictor=self.predictor, arena=self.arena
+            self.model,
+            predictor=self.predictor,
+            arena=self.arena,
+            prefix_cache=self.prefix_cache,
         )
         replay = [int(t) for t in self.request.prompt_tokens] + self.generated_tokens
         self.decoder.begin_prefill(replay)
@@ -281,7 +286,10 @@ class GenerationSession:
             )
         self.state = SessionState.ACTIVE
         self.decoder = IncrementalDecoder(
-            self.model, predictor=self.predictor, arena=self.arena
+            self.model,
+            predictor=self.predictor,
+            arena=self.arena,
+            prefix_cache=self.prefix_cache,
         )
         replay = [int(t) for t in self.request.prompt_tokens] + self.generated_tokens
         self._pending_token = self.decoder.prefill(replay)

@@ -163,6 +163,16 @@ ARENA_GOLDEN = {
     "gather_incremental": 8,
     "gather_bytes_copied": 245760,
     "view_bytes_copied": 53248,
+    # cross-request prefix cache counters (PR 6): the fixed run never enables
+    # prefix_cache, so every counter is structurally zero -- the cache-off
+    # engine must not touch the prefix index at all
+    "prefix_hits": 0,
+    "prefix_misses": 0,
+    "prefix_tokens_reused": 0,
+    "prefix_pages_shared": 0,
+    "cow_copies": 0,
+    "cached_idle_pages": 0,
+    "prefix_evictions": 0,
     "occupancy": 0.0,
 }
 
@@ -286,6 +296,39 @@ class TestServingGolden:
             r.queue_steps + r.prefill_steps == r.time_to_first_token_steps
             for r in report.requests
         )
+
+    def test_pre_prefix_cache_arena_block_still_loads(self, run):
+        """PR-5-era arena blocks predate the prefix-cache counters."""
+        _, report = run
+        payload = report.to_json()
+        for key in (
+            "prefix_hits",
+            "prefix_misses",
+            "prefix_tokens_reused",
+            "prefix_pages_shared",
+            "cow_copies",
+            "cached_idle_pages",
+            "prefix_evictions",
+        ):
+            del payload["arena"][key]
+        rebuilt = ServingReport.from_json(payload)
+        # the arena block is opaque pass-through: an old payload loads (and
+        # re-serialises) without the counters, with no fabricated zeros
+        assert "prefix_hits" not in rebuilt.arena
+        assert rebuilt.arena["page_faults"] == ARENA_GOLDEN["page_faults"]
+        assert rebuilt.to_json()["arena"] == payload["arena"]
+        assert rebuilt.summary()  # summary() needs none of the new keys
+
+    def test_prefix_cache_counters_survive_round_trip(self, run):
+        """New-era payloads carry the counters through load/dump unchanged."""
+        _, report = run
+        payload = report.to_json()
+        payload["arena"]["prefix_hits"] = 3
+        payload["arena"]["prefix_tokens_reused"] = 24
+        rebuilt = ServingReport.from_json(json.loads(json.dumps(payload)))
+        assert rebuilt.arena["prefix_hits"] == 3
+        assert rebuilt.arena["prefix_tokens_reused"] == 24
+        assert rebuilt.to_json()["arena"] == payload["arena"]
 
     def test_from_json_ignores_unknown_keys(self, run):
         """Forward compat: newer writers may add blocks this reader predates."""
