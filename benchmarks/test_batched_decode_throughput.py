@@ -60,6 +60,7 @@ the ``ServingReport.to_json`` schema shared with
 trajectory is tracked from this PR on.
 """
 
+import gc
 import json
 import time
 import warnings
@@ -72,6 +73,8 @@ from repro.model import QuantizedTransformer, TransformerModel, generate, get_mo
 from repro.model.generation import IncrementalDecoder
 from repro.serve import (
     ContinuousBatchingScheduler,
+    FaultPlan,
+    FaultSpec,
     PagedKVArena,
     Request,
     ServingEngine,
@@ -120,6 +123,22 @@ PREFIX_SEED = 31
 # cache-on must not lose cache-off on TTFT p95; it skips most prefill rows
 # on the shared trace, so 1.1 only absorbs best-of-3 timer noise
 PREFIX_TTFT_GATE = 1.1
+
+# fault-injection hooks (PR 7): the acceptance gate says the hook points
+# cost nothing measurable when no FaultInjector is installed, within 2%.
+# A 2% comparison is only statistically meaningful same-process, so the
+# gate pairs the hooks-disabled engine run against an armed-but-idle
+# injector (a spec that can never match) over the identical stream -- the
+# armed run exercises every live hook (arena probes, per-commit fires,
+# commit-fault routing), so it upper-bounds the disabled-hook overhead vs
+# the pre-faults engine.
+FAULT_HOOK_GATE = 0.98
+# odd: the gate rides the median of per-round pair ratios.  21 rounds puts
+# the median's spread near 1% on a noisy shared box (single ~300ms runs
+# carry +-5% CPU-time noise), leaving ~3 sigma of margin to the 2% gate
+FAULT_REPEATS = 21
+FAULT_PROBABILITY = 0.01  # per-opportunity rate of the recovery chaos trace
+FAULT_SEED = 23
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -543,6 +562,146 @@ def _prefix_cache_block(model):
     }
 
 
+def _faults_block(model, stream):
+    """Fault-hook overhead pair + 1%-fault recovery trace on one stream.
+
+    The overhead gate compares two engines timed in interleaved rounds in
+    this process: hooks disabled (``faults=None``) versus an armed-but-idle
+    injector whose only spec can never match (probability 0, scheduled past
+    any reachable step).  The armed engine keeps every engine-side hook
+    live -- arena probes, per-commit fire checks, commit-fault routing --
+    so its throughput upper-bounds the cost of the disabled hooks, and its
+    report must be bit-identical to the baseline's.  The chaos leg then
+    reruns the stream under a 1% uniform fault plan and records recovery
+    behaviour (all step-domain, so only the timing pair rides on a clock).
+    """
+    idle_plan = FaultPlan(
+        specs=(
+            FaultSpec(site="session.compute", probability=0.0, at_step=10**9),
+        )
+    )
+    # the timing pair runs a 3x longer stream than the serving report so a
+    # single sample is ~300ms of work (the chaos leg below stays on the
+    # shared 16-request stream so its counters remain comparable to
+    # serving_report)
+    pair_stream = sample_requests(
+        48,
+        vocab_size=model.config.vocab_size,
+        mean_interarrival=0.5,
+        seed=11,
+    )
+
+    def _one_run(make_engine):
+        # process CPU time, not wall-clock: the pair gate is about compute
+        # overhead, and CPU time is immune to the container scheduler
+        # preempting one run but not its partner
+        serving = make_engine()
+        serving.submit_many(pair_stream)
+        start = time.process_time()
+        report = serving.run()
+        return report, time.process_time() - start
+
+    # a single ~100ms run carries +-3% timer noise, too much for a 2% gate
+    # on one best-of pair -- so each round times the two engines adjacent
+    # in time (alternating order to cancel ordering bias) and the gate
+    # rides the MEDIAN of the per-round elapsed ratios: drift cancels
+    # within a pair, outlier rounds cancel in the median.  Best-of
+    # tokens/sec is still reported for display.
+    makers = {
+        "base": lambda: ServingEngine(model, max_active=GATED_BATCH),
+        "armed": lambda: ServingEngine(
+            model, max_active=GATED_BATCH, faults=idle_plan
+        ),
+    }
+    best = {"base": float("inf"), "armed": float("inf")}
+    reports, round_ratios = {}, []
+    for which in ("base", "armed"):  # warmup: fault caches, allocator state
+        _one_run(makers[which])
+    # cyclic GC pauses land on whichever engine happens to cross the
+    # allocation threshold -- under a full-suite heap that skew exceeds
+    # the 2% gate, so the timed pair runs with the collector off
+    gc.collect()
+    gc.disable()
+    try:
+        for round_index in range(FAULT_REPEATS):
+            order = (
+                ("base", "armed") if round_index % 2 == 0 else ("armed", "base")
+            )
+            elapsed = {}
+            for which in order:
+                reports[which], elapsed[which] = _one_run(makers[which])
+                best[which] = min(best[which], elapsed[which])
+            round_ratios.append(elapsed["base"] / elapsed["armed"])
+    finally:
+        gc.enable()
+    hook_ratio = sorted(round_ratios)[len(round_ratios) // 2]
+    base_report, armed_report = reports["base"], reports["armed"]
+    base_tps = base_report.total_tokens / best["base"]
+    armed_tps = armed_report.total_tokens / best["armed"]
+    assert armed_report.to_json() == base_report.to_json(), (
+        "armed-but-idle fault injector perturbed the serving trace"
+    )
+
+    chaos_plan = FaultPlan.uniform(
+        FAULT_PROBABILITY,
+        seed=FAULT_SEED,
+        sites=("arena.alloc", "session.compute", "session.append"),
+    )
+    chaos = ServingEngine(
+        model, max_active=GATED_BATCH, faults=chaos_plan, max_retries=3
+    )
+    chaos.submit_many(stream)
+    chaos_report = chaos.run(max_steps=5000)
+    assert not chaos_report.truncated, "chaos trace failed to drain"
+    arena = chaos_report.arena
+    assert arena["pages_in_use"] == 0, "chaos trace leaked arena pages"
+    assert arena["page_faults"] == arena["pages_freed"], (
+        "chaos trace arena books unbalanced"
+    )
+    injector = chaos.fault_injector
+    assert injector.total_fires > 0, (
+        "the 1% chaos plan never fired -- the recovery leg measured nothing"
+    )
+
+    recovered = [
+        m
+        for m in chaos_report.requests
+        if m.retries > 0 and m.outcome == "finished"
+    ]
+    recovery_ttfts = sorted(
+        m.first_token_step - m.arrival_step
+        for m in recovered
+        if m.first_token_step is not None
+    )
+    recovery_ttft_p95 = (
+        float(
+            recovery_ttfts[
+                min(len(recovery_ttfts) - 1, int(0.95 * len(recovery_ttfts)))
+            ]
+        )
+        if recovery_ttfts
+        else None
+    )
+    policy = chaos_report.to_json()["policy"]
+    return {
+        "hooks_disabled_tokens_per_sec": base_tps,
+        "hooks_armed_idle_tokens_per_sec": armed_tps,
+        "hook_overhead_ratio": hook_ratio,
+        "chaos": {
+            "fault_probability": FAULT_PROBABILITY,
+            "seed": FAULT_SEED,
+            "steps": chaos_report.steps,
+            "fires_by_site": dict(injector.fires_by_site),
+            "opportunities": int(injector.opportunities),
+            "total_fires": int(injector.total_fires),
+            "retries": policy["retries"],
+            "failed": policy["failed"],
+            "finished_with_retries": len(recovered),
+            "recovery_ttft_p95_steps": recovery_ttft_p95,
+        },
+    }
+
+
 def test_batched_decode_throughput(benchmark):
     model = _build_model()
     engine = MCBPEngine(group_size=4, weight_bits=8)
@@ -617,6 +776,9 @@ def test_batched_decode_throughput(benchmark):
         "ServingEngine(FCFS) diverged from ContinuousBatchingScheduler"
     )
 
+    # fault hooks: disabled-vs-armed-idle overhead pair + 1% recovery trace
+    faults_block = _faults_block(model, stream)
+
     # policy grid: priority/deadline/aging service under one bursty trace
     policy_rows = _policy_rows(model)
 
@@ -645,6 +807,7 @@ def test_batched_decode_throughput(benchmark):
         },
         "prefill": prefill_block,
         "prefix_cache": prefix_block,
+        "faults": faults_block,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -704,6 +867,17 @@ def test_batched_decode_throughput(benchmark):
         f"   ({prefix_block['page_fault_reduction']:.2f}x fewer faults, "
         f"{prefix_block['shared_trace']['on']['prefix_tokens_reused']} rows "
         "reused)"
+        + "\nfault hooks: disabled "
+        f"{faults_block['hooks_disabled_tokens_per_sec']:.1f} tok/s   "
+        f"armed-idle {faults_block['hooks_armed_idle_tokens_per_sec']:.1f} "
+        f"tok/s   ({faults_block['hook_overhead_ratio']:.3f}x)"
+        + "\nchaos @1%: "
+        f"{faults_block['chaos']['total_fires']} fires / "
+        f"{faults_block['chaos']['opportunities']} opportunities   "
+        f"retries {faults_block['chaos']['retries']}  "
+        f"failed {faults_block['chaos']['failed']}  "
+        "recovery ttft p95 "
+        f"{faults_block['chaos']['recovery_ttft_p95_steps']} steps"
         + f"\nBSTC decodes: {engine.codec.decode_calls} "
         f"(= {n_matrices} weight matrices)\nreport -> {BENCH_PATH.name}",
     )
@@ -790,4 +964,16 @@ def test_batched_decode_throughput(benchmark):
     assert shared_on["prefix_tokens_reused"] > 0
     assert shared_on["peak_pages_in_use"] <= shared_off["peak_pages_in_use"], (
         "prefix cache raised peak arena occupancy on the shared trace"
+    )
+    # CI gate: the fault-injection hook points must cost nothing measurable
+    # when no fault ever fires -- the armed-but-idle engine (which also pays
+    # per-commit KV verification) must hold within 2% of the hooks-disabled
+    # engine timed back-to-back in this process.  Behavioural identity of the
+    # pair asserts inside _faults_block, so only throughput rides the timer.
+    assert faults_block["hook_overhead_ratio"] >= FAULT_HOOK_GATE, (
+        "fault-injection hooks taxed the fault-free path: armed-idle "
+        f"{faults_block['hooks_armed_idle_tokens_per_sec']:.1f} vs disabled "
+        f"{faults_block['hooks_disabled_tokens_per_sec']:.1f} tok/s "
+        f"(ratio {faults_block['hook_overhead_ratio']:.3f}, "
+        f"gate {FAULT_HOOK_GATE})"
     )

@@ -21,12 +21,27 @@ from .transformer import ForwardStats, TransformerModel
 __all__ = [
     "GenerationResult",
     "IncrementalDecoder",
+    "KVCorruptionError",
     "greedy_sample",
     "generate",
     "stage_gemm_macs",
 ]
 
 KeyPredictor = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class KVCorruptionError(RuntimeError):
+    """A KV cache holds a different row count than the token history implies.
+
+    Every committed token corresponds to exactly one K/V row per layer, so a
+    layer whose cache length disagrees with the stream's token history has
+    been corrupted (a torn append, a stray write).  Raised by
+    :meth:`IncrementalDecoder.verify_kv_rows`; the serving engine treats it
+    as a per-request failure -- the stream's KV is untrusted and must be
+    rebuilt by re-prefilling -- rather than a process error.
+    """
+
+    site = "session.append"
 
 
 @dataclass
@@ -131,6 +146,24 @@ class IncrementalDecoder:
     def seq_len(self) -> int:
         """Number of tokens currently held in the KV cache."""
         return self.caches[0].seq_len if self.caches else 0
+
+    def verify_kv_rows(self, expected: int) -> None:
+        """Integrity check: every layer must hold exactly ``expected`` KV rows.
+
+        The row count per layer is a pure function of the tokens fed through
+        the decoder, so any divergence means the cache was corrupted between
+        forward passes; raises :class:`KVCorruptionError` naming the first
+        bad layer.  Cache-less models (stub streams with ``new_cache() ==
+        []``) hold no rows to verify and always pass.
+        """
+        expected = int(expected)
+        for layer, cache in enumerate(self.caches):
+            got = cache.seq_len
+            if got != expected:
+                raise KVCorruptionError(
+                    f"KV corruption: layer {layer} holds {got} rows where the "
+                    f"token history implies {expected}"
+                )
 
     def prefill(self, prompt_tokens: Sequence[int]) -> int:
         """Process the whole prompt in parallel; returns the first sampled token."""

@@ -39,10 +39,33 @@ page-fault / occupancy / copy-traffic counters surface in
 :meth:`ServingReport.to_json` next to the per-policy preemption and
 deadline-miss counts.
 
-See ``src/repro/serve/README.md`` for the API guide and how to write a
-custom policy.
+The failure model lives in :mod:`repro.serve.faults`: a deterministic,
+seedable :class:`FaultInjector` (driven by a :class:`FaultPlan`) threads
+through the arena, the sessions and the callback dispatch; the engine
+hardens the request lifecycle around it with per-request timeouts, capped
+exponential-backoff retries (bit-identical recovered token streams),
+failure isolation (one faulted row never aborts its batch siblings),
+hysteretic load shedding (:class:`LoadShedWatchdog`) and graceful
+``drain()`` / ``shutdown()``.  Every request ends in exactly one terminal
+state -- ``FINISHED`` / ``CANCELLED`` / ``FAILED`` / ``TIMED_OUT`` /
+``SHED`` -- recorded as :attr:`RequestMetrics.outcome`.
+
+See ``src/repro/serve/README.md`` for the API guide, the failure model and
+how to write a custom policy.
 """
 
+from .faults import (
+    FAULT_SITES,
+    FailureInfo,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCallbackError,
+    LoadShedWatchdog,
+    SessionComputeFault,
+    TransientArenaFault,
+)
 from .kv_arena import ArenaStats, PagedKVArena
 from .policies import (
     AdmissionPolicy,
@@ -64,7 +87,7 @@ from .scheduler import (
     ServingEngine,
     ServingReport,
 )
-from .session import GenerationSession, Request, SessionState
+from .session import GenerationSession, Request, SessionState, TERMINAL_STATES
 
 __all__ = [
     "AdmissionPolicy",
@@ -74,9 +97,17 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "DeadlineAdmission",
     "DeadlinePolicy",
+    "FAULT_SITES",
     "FCFSPolicy",
     "FIFOAdmission",
+    "FailureInfo",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "GenerationSession",
+    "InjectedCallbackError",
+    "LoadShedWatchdog",
     "PagedKVArena",
     "PriorityAdmission",
     "PriorityPolicy",
@@ -86,6 +117,9 @@ __all__ = [
     "SchedulingPolicy",
     "ServingEngine",
     "ServingReport",
+    "SessionComputeFault",
     "SessionState",
+    "TERMINAL_STATES",
+    "TransientArenaFault",
     "make_policies",
 ]

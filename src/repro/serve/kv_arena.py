@@ -183,6 +183,9 @@ class PagedKVArena:
         self._sessions: Dict[int, _Session] = {}
         self._next_sid = 0
         self.stats = ArenaStats(page_size=page_size, n_pages=initial_pages)
+        # fault-injection hook (see check_alloc); None keeps every allocation
+        # path untouched -- the serving engine installs its injector here
+        self.fault_injector = None
         # per-layer gather caches: {"sids", "lengths", "k", "v", "cap"}
         self._gather: List[Optional[dict]] = [None] * n_layers
         # prefix cache: content key (token prefix at a page boundary) -> node,
@@ -297,6 +300,33 @@ class PagedKVArena:
         if self.max_pages is None:
             return True
         return int(n_pages) <= int(self.max_pages * watermark)
+
+    # -- fault injection -------------------------------------------------------
+
+    def check_alloc(self, request_id: Optional[str], step: int) -> None:
+        """Schedule-time allocation probe for the fault-injection harness.
+
+        The serving engine calls this for every session about to append KV
+        rows in the coming fused pass (prefill chunks and decode rows alike),
+        *before* any forward runs -- the step-scheduling moment real engines
+        use to check allocatability.  When an installed
+        :class:`~repro.serve.faults.FaultInjector` arms the ``arena.alloc``
+        site for this ``(request, step)``, the probe raises
+        :class:`~repro.serve.faults.TransientArenaFault` and the engine
+        quarantines just that session (no page was touched, no row appended,
+        so the arena books stay balanced).  Copy-on-write and mid-forward
+        page allocations are deliberately *not* injection points: a fault
+        there could not be isolated to one batch row.  With no injector the
+        probe is never called, so the allocation fast path pays nothing.
+        """
+        injector = self.fault_injector
+        if injector is not None and injector.fires("arena.alloc", request_id, step):
+            from .faults import TransientArenaFault
+
+            raise TransientArenaFault(
+                f"injected transient page-allocation failure for request "
+                f"{request_id!r} at step {step}"
+            )
 
     # -- prefix cache ----------------------------------------------------------
 

@@ -68,7 +68,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..model.generation import KeyPredictor
+from ..model.generation import KeyPredictor, KVCorruptionError
+from .faults import (
+    FailureInfo,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    InjectedCallbackError,
+    LoadShedWatchdog,
+)
 from .kv_arena import PagedKVArena
 from .policies import (
     AdmissionPolicy,
@@ -86,6 +94,11 @@ __all__ = [
     "ContinuousBatchingScheduler",
 ]
 
+#: What the engine-side containment catches around serial-path session calls:
+#: injected faults plus the real KV-integrity detector.  Anything else is a
+#: genuine bug and must crash loudly, never be quarantined into a retry.
+_FAULT_TYPES = (FaultError, KVCorruptionError)
+
 TokenCallback = Callable[["RequestHandle", int, int], None]
 CompleteCallback = Callable[["RequestHandle", RequestMetrics], None]
 
@@ -98,7 +111,22 @@ class ServingReport:
     counters (:meth:`repro.serve.kv_arena.ArenaStats.to_json`) when the run
     used one, ``None`` otherwise.  ``policy`` is the per-policy metrics
     block: which admission/scheduling policies ran plus their aggregate
-    preemption / deadline-miss / cancellation counts.
+    preemption / deadline-miss / cancellation counts (and, since the failure
+    model landed, failed / timed-out / shed / retry / callback-error counts).
+
+    ``requests`` holds every *terminally-resolved* request except cancelled
+    ones -- finished, failed, timed-out and shed alike, distinguished by
+    :attr:`RequestMetrics.outcome` -- so failure rates are first-class
+    report data.  The latency aggregates are computed over the ``finished``
+    outcomes only (a timed-out request's "latency" measures the reaper, not
+    the service), and queue-delay aggregates over requests that were
+    actually admitted; fault-free reports are bit-identical to the
+    pre-faults format.
+
+    ``truncated`` records that the producing :meth:`ServingEngine.run` hit
+    its ``max_steps`` with work still queued/active (the leftover counts say
+    how much) -- previously that outcome raised, hiding the partial results;
+    :meth:`from_json` tolerates payloads written either way.
     """
 
     steps: int
@@ -106,6 +134,9 @@ class ServingReport:
     max_concurrency: int = 0
     arena: Optional[dict] = None
     policy: Optional[dict] = None
+    truncated: bool = False
+    leftover_queued: int = 0
+    leftover_active: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -115,9 +146,12 @@ class ServingReport:
     def throughput_tokens_per_step(self) -> float:
         return self.total_tokens / self.steps if self.steps else 0.0
 
+    def _finished(self) -> List[RequestMetrics]:
+        return [r for r in self.requests if r.outcome == "finished"]
+
     def latency_percentile(self, q: float, priority: Optional[int] = None) -> float:
-        """Latency percentile over all requests, or one priority class."""
-        pool = self.requests
+        """Latency percentile over finished requests, or one priority class."""
+        pool = self._finished()
         if priority is not None:
             pool = [r for r in pool if r.priority == priority]
         if not pool:
@@ -126,15 +160,21 @@ class ServingReport:
 
     @property
     def mean_latency_steps(self) -> float:
-        if not self.requests:
+        pool = self._finished()
+        if not pool:
             return 0.0
-        return float(np.mean([r.latency_steps for r in self.requests]))
+        return float(np.mean([r.latency_steps for r in pool]))
 
     @property
     def mean_queue_delay_steps(self) -> float:
-        if not self.requests:
+        delays = [
+            r.queue_delay_steps
+            for r in self.requests
+            if r.queue_delay_steps is not None
+        ]
+        if not delays:
             return 0.0
-        return float(np.mean([r.queue_delay_steps for r in self.requests]))
+        return float(np.mean(delays))
 
     @property
     def total_preemptions(self) -> int:
@@ -161,6 +201,9 @@ class ServingReport:
             "mean_latency_steps": self.mean_latency_steps,
             "p95_latency_steps": self.latency_percentile(95),
             "mean_queue_delay_steps": self.mean_queue_delay_steps,
+            "truncated": self.truncated,
+            "leftover_queued": self.leftover_queued,
+            "leftover_active": self.leftover_active,
             "arena": self.arena,
             "policy": self.policy,
             "requests": [asdict(r) for r in self.requests],
@@ -187,19 +230,31 @@ class ServingReport:
             requests=requests,
             arena=payload.get("arena"),
             policy=payload.get("policy"),
+            truncated=bool(payload.get("truncated", False)),
+            leftover_queued=int(payload.get("leftover_queued", 0)),
+            leftover_active=int(payload.get("leftover_active", 0)),
         )
+
+    @staticmethod
+    def _cell(value, width: int) -> str:
+        """Right-aligned table cell; ``-`` for a milestone never reached."""
+        return f"{'-' if value is None else value:>{width}}"
 
     def summary(self) -> str:
         """Human-readable per-request table plus aggregate lines."""
         lines = [
             f"{'request':>12} {'arrive':>7} {'admit':>6} {'first':>6} "
-            f"{'finish':>7} {'tokens':>7} {'latency':>8} {'attn%':>6}"
+            f"{'finish':>7} {'tokens':>7} {'latency':>8} {'attn%':>6} "
+            f"{'outcome':>9}"
         ]
         for r in sorted(self.requests, key=lambda r: r.arrival_step):
             lines.append(
-                f"{r.request_id:>12} {r.arrival_step:>7} {r.admitted_step:>6} "
-                f"{r.first_token_step:>6} {r.finished_step:>7} {r.n_generated:>7} "
-                f"{r.latency_steps:>8} {100.0 * r.attention_density:>5.1f}%"
+                f"{r.request_id:>12} {r.arrival_step:>7} "
+                f"{self._cell(r.admitted_step, 6)} "
+                f"{self._cell(r.first_token_step, 6)} "
+                f"{self._cell(r.finished_step, 7)} {r.n_generated:>7} "
+                f"{self._cell(r.latency_steps, 8)} "
+                f"{100.0 * r.attention_density:>5.1f}% {r.outcome:>9}"
             )
         lines.append(
             f"steps={self.steps} tokens={self.total_tokens} "
@@ -208,6 +263,12 @@ class ServingReport:
             f"p95_latency={self.latency_percentile(95):.1f} "
             f"peak_concurrency={self.max_concurrency}"
         )
+        if self.truncated:
+            lines.append(
+                f"TRUNCATED: run stopped at max_steps with "
+                f"{self.leftover_queued} queued / {self.leftover_active} "
+                f"active requests unresolved"
+            )
         if self.policy is not None:
             # .get(): from_json accepts partial policy blocks from other
             # writers, so summary() must not hard-require every key
@@ -217,7 +278,11 @@ class ServingReport:
                 f"scheduling={p.get('scheduling', '?')} "
                 f"preemptions={p.get('preemptions', 0)} "
                 f"deadline_misses={p.get('deadline_misses', 0)} "
-                f"cancelled={p.get('cancelled', 0)}"
+                f"cancelled={p.get('cancelled', 0)} "
+                f"failed={p.get('failed', 0)} "
+                f"timed_out={p.get('timed_out', 0)} "
+                f"shed={p.get('shed', 0)} "
+                f"retries={p.get('retries', 0)}"
             )
         if self.arena is not None:
             a = self.arena
@@ -249,6 +314,7 @@ class RequestHandle:
         "on_complete",
         "cancelled",
         "reserved_pages",
+        "_complete_fired",
     )
 
     def __init__(
@@ -266,6 +332,9 @@ class RequestHandle:
         # page reservation pinned by the admission policy while the handle
         # is active (None when unadmitted, released, or policy-unmanaged)
         self.reserved_pages: Optional[int] = None
+        # exactly-once terminal-callback latch: set the moment on_complete
+        # is dispatched (or forfeited by cancel), never cleared
+        self._complete_fired = False
 
     @property
     def request(self) -> Request:
@@ -289,11 +358,11 @@ class RequestHandle:
 
     @property
     def done(self) -> bool:
-        """Terminal: the request finished or was cancelled."""
-        return self.session.is_finished or self.cancelled
+        """Terminal: finished, cancelled, failed, timed out or shed."""
+        return self.session.is_terminal or self.cancelled
 
     def metrics(self) -> RequestMetrics:
-        """Final metrics of the finished request (raises until then)."""
+        """Final metrics of the resolved request (raises until terminal)."""
         return self.session.to_metrics()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -376,6 +445,29 @@ class ServingEngine:
         ``prefill_batch``; ``False`` forces one-shot serial prefill at
         admission (the benchmark baseline).  Tokens and step-domain metrics
         are bit-identical either way.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` (or a pre-built
+        :class:`~repro.serve.faults.FaultInjector`) arming the engine's
+        deterministic fault-injection hooks -- schedule-time arena
+        allocation probes, per-row compute/append faults at commit time,
+        and callback-dispatch faults.  ``None`` (the default) leaves every
+        hook point on the unguarded fast path: the fault-free engine is
+        byte-identical in behaviour and measurably identical in throughput
+        (gated in the serving benchmark).
+    max_retries:
+        How many fault-recovery re-prefills a request gets before it
+        resolves ``FAILED``.  Each retry releases the (untrusted) KV and
+        requeues the request with capped exponential backoff --
+        ``retry_backoff_steps * 2**(retries-1)`` engine steps, capped at
+        ``retry_backoff_cap`` -- then resumes through the ordinary
+        preemption machinery, so a recovered request's token stream is
+        bit-identical to a fault-free run.
+    watchdog:
+        Optional :class:`~repro.serve.faults.LoadShedWatchdog`.  When
+        installed, the engine feeds it queue depth and fault quarantines
+        every step; while the watchdog says the engine is overloaded, the
+        lowest-priority queued requests are resolved ``SHED`` and the
+        chunked-prefill budget is throttled until pressure subsides.
     """
 
     def __init__(
@@ -392,11 +484,22 @@ class ServingEngine:
         prefill_token_budget: Optional[int] = None,
         batched_prefill: Optional[bool] = None,
         prefix_cache: bool = False,
+        faults=None,
+        max_retries: int = 2,
+        retry_backoff_steps: int = 1,
+        retry_backoff_cap: int = 8,
+        watchdog: Optional[LoadShedWatchdog] = None,
     ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
         if prefill_token_budget is not None and prefill_token_budget < 1:
             raise ValueError("prefill_token_budget must be >= 1 when given")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff_steps < 1:
+            raise ValueError("retry_backoff_steps must be >= 1")
+        if retry_backoff_cap < retry_backoff_steps:
+            raise ValueError("retry_backoff_cap must be >= retry_backoff_steps")
         self.model = model
         self.max_active = max_active
         self.predictor = predictor
@@ -451,21 +554,52 @@ class ServingEngine:
             )
         self.arena = arena
         self.prefix_cache = bool(prefix_cache)
+        # -- failure model ----------------------------------------------------
+        if faults is None:
+            self._faults: Optional[FaultInjector] = None
+        elif isinstance(faults, FaultInjector):
+            self._faults = faults
+        elif isinstance(faults, FaultPlan):
+            self._faults = FaultInjector(faults)
+        else:
+            raise TypeError(
+                f"faults must be a FaultPlan or FaultInjector, "
+                f"got {type(faults).__name__}"
+            )
+        if self._faults is not None and self.arena is not None:
+            self.arena.fault_injector = self._faults
+        self.max_retries = max_retries
+        self.retry_backoff_steps = retry_backoff_steps
+        self.retry_backoff_cap = retry_backoff_cap
+        self.watchdog = watchdog
         self.last_step_stats: Optional[Dict[str, int]] = None
         self.current_step = 0
         # arrivals still in the future: min-heap keyed by (arrival_step,
         # submission index) so each step drains exactly the arrived prefix
+        # (retry backoff reuses it: a retried handle "re-arrives" later)
         self._pending: List[Tuple[int, int, RequestHandle]] = []
         # arrived but unadmitted: min-heap keyed by the admission policy's
         # key (submission index breaks exact ties deterministically)
         self._ready: List[Tuple[Tuple, int, RequestHandle]] = []
+        # timeout reaper: min-heap keyed by (timeout_step, index); handles
+        # are reaped at the start of the first step PAST their timeout_step
+        self._timeouts: List[Tuple[int, int, RequestHandle]] = []
         self._request_ids: set = set()
         self._submitted = 0
-        self._queued_count = 0  # non-cancelled handles across both heaps
+        self._queued_count = 0  # live (non-terminal) handles across the heaps
         self._active: List[RequestHandle] = []
         self._finished: List[RequestHandle] = []
         self._cancelled: List[RequestHandle] = []
+        self._failed: List[RequestHandle] = []
+        self._timed_out: List[RequestHandle] = []
+        self._shed: List[RequestHandle] = []
+        # every non-cancelled terminal handle in resolution order -- the
+        # report's per-request metrics walk this one list
+        self._terminal: List[RequestHandle] = []
         self._max_concurrency = 0
+        self._callback_errors = 0
+        self._callback_warned = False
+        self._closed = False
 
     # -- submission ------------------------------------------------------------
 
@@ -479,8 +613,15 @@ class ServingEngine:
 
         Raises ``ValueError`` for duplicate request ids and for requests the
         admission policy rejects outright (``check_submit``), e.g. one whose
-        KV lifetime could never fit the arena's ``max_pages`` budget.
+        KV lifetime could never fit the arena's ``max_pages`` budget, and
+        ``RuntimeError`` once the engine is closed (:meth:`drain` /
+        :meth:`shutdown` was called).
         """
+        if self._closed:
+            raise RuntimeError(
+                f"engine is closed (drain/shutdown); cannot submit "
+                f"{request.request_id!r}"
+            )
         # step() keys its emitted-token dict by request_id, so ids must be
         # unique or one session's tokens would silently shadow another's
         if request.request_id in self._request_ids:
@@ -494,12 +635,17 @@ class ServingEngine:
             arena=self.arena,
             prefix_cache=self.prefix_cache,
         )
+        session.fault_injector = self._faults
         handle = RequestHandle(
             session, self._submitted, on_token=on_token, on_complete=on_complete
         )
         heapq.heappush(
             self._pending, (request.arrival_step, handle.index, handle)
         )
+        if request.timeout_step is not None:
+            heapq.heappush(
+                self._timeouts, (request.timeout_step, handle.index, handle)
+            )
         self._submitted += 1
         self._queued_count += 1
         return handle
@@ -515,7 +661,7 @@ class ServingEngine:
         requests are excluded from :meth:`report`'s per-request metrics but
         counted in its policy block.
         """
-        if handle.cancelled or handle.session.is_finished:
+        if handle.cancelled or handle.session.is_terminal:
             return False
         if handle in self._active:
             self._active.remove(handle)
@@ -525,6 +671,9 @@ class ServingEngine:
             self._queued_count -= 1
         handle.session.cancel()
         handle.cancelled = True
+        # cancellation is caller-initiated: no on_complete fires for it, and
+        # the latch guarantees none ever will (exactly-once, including zero)
+        handle._complete_fired = True
         self._cancelled.append(handle)
         # whether it was active (holding a reservation) or still queued,
         # the admission policy must drop any page reservation right now --
@@ -554,6 +703,23 @@ class ServingEngine:
         return len(self._cancelled)
 
     @property
+    def n_failed(self) -> int:
+        return len(self._failed)
+
+    @property
+    def n_timed_out(self) -> int:
+        return len(self._timed_out)
+
+    @property
+    def n_shed(self) -> int:
+        return len(self._shed)
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The armed injector (``None`` on a fault-free engine)."""
+        return self._faults
+
+    @property
     def has_work(self) -> bool:
         return bool(self._active) or self.n_queued > 0
 
@@ -563,10 +729,198 @@ class ServingEngine:
         key = self.admission.admission_key_at(handle, self.current_step)
         heapq.heappush(self._ready, (key, handle.index, handle))
 
+    # -- failure model ---------------------------------------------------------
+
+    @staticmethod
+    def _live(handle: RequestHandle) -> bool:
+        """Whether a heap entry still represents schedulable work."""
+        return not (handle.cancelled or handle.session.is_terminal)
+
+    def _resolve(
+        self,
+        handle: RequestHandle,
+        state: SessionState,
+        step: int,
+        failure: Optional[FailureInfo] = None,
+    ) -> None:
+        """Terminally resolve a live request as FAILED / TIMED_OUT / SHED.
+
+        Handles every location the request may occupy -- a batch slot, the
+        ready queue, or the pending/backoff heap -- releasing its KV pages
+        and admission reservation, recording it in the outcome buckets, and
+        firing its ``on_complete`` exactly once.  Heap entries are dropped
+        lazily (the heaps skip terminal handles on pop).
+        """
+        session = handle.session
+        if handle.cancelled or session.is_terminal:
+            return
+        if handle in self._active:
+            self._active.remove(handle)
+        else:
+            self._queued_count -= 1
+        if failure is not None:
+            session.failure = failure.to_json()
+        session.finalize(state, step)
+        bucket = {
+            SessionState.FAILED: self._failed,
+            SessionState.TIMED_OUT: self._timed_out,
+            SessionState.SHED: self._shed,
+        }[state]
+        bucket.append(handle)
+        self._terminal.append(handle)
+        self.admission.on_release(handle, self)
+        self._fire_complete(handle, step)
+
+    def _quarantine(self, handle: RequestHandle, exc: Exception, step: int) -> None:
+        """Route one quarantined fault: retry with backoff, or FAILED.
+
+        The faulted session's KV is untrusted, so a retry releases it
+        wholesale and requeues the request through the pending heap with
+        capped exponential backoff; the eventual resume re-prefills
+        ``prompt + generated`` bit-identically.  A request out of retries
+        resolves ``FAILED`` with a structured post-mortem.
+        """
+        session = handle.session
+        if self.watchdog is not None:
+            self.watchdog.record_failure(step)
+        if session.retries >= self.max_retries:
+            failure = FailureInfo(
+                site=getattr(exc, "site", "unknown"),
+                step=step,
+                retries=session.retries,
+                message=str(exc),
+            )
+            self._resolve(handle, SessionState.FAILED, step, failure=failure)
+            return
+        if handle in self._active:
+            self._active.remove(handle)
+        else:
+            # quarantined before taking a slot (schedule-time arena fault on
+            # a not-yet-admitted handle): it leaves the queue count now and
+            # re-enters it below with its backoff arrival
+            self._queued_count -= 1
+        session.retry(step)
+        self.admission.on_release(handle, self)
+        delay = min(
+            self.retry_backoff_cap,
+            self.retry_backoff_steps * (2 ** (session.retries - 1)),
+        )
+        heapq.heappush(self._pending, (step + delay, handle.index, handle))
+        self._queued_count += 1
+
+    def _check_arena_faults(
+        self, handles: List[RequestHandle], step: int
+    ) -> List[RequestHandle]:
+        """Schedule-time arena-allocation probe; returns the survivors.
+
+        Mirrors real engines, which test allocatability when *scheduling* a
+        sequence, not mid-kernel: every session about to append KV rows this
+        step is probed before the fused forward, and a faulted one is
+        quarantined (retry/FAILED) without ever entering the batch.
+        """
+        survivors: List[RequestHandle] = []
+        for handle in handles:
+            try:
+                self.arena.check_alloc(handle.request_id, step)
+            except _FAULT_TYPES as exc:
+                self._quarantine(handle, exc, step)
+                continue
+            survivors.append(handle)
+        return survivors
+
+    def _route_commit_faults(
+        self, handles: List[RequestHandle], step: int
+    ) -> None:
+        """Collect faults the batch commit loops quarantined per-session."""
+        for handle in handles:
+            session = handle.session
+            if session.last_fault is not None:
+                exc = session.last_fault
+                session.last_fault = None
+                self._quarantine(handle, exc, step)
+
+    def _reap_timeouts(self, step: int) -> None:
+        """Resolve every request still live past its ``timeout_step``."""
+        while self._timeouts and self._timeouts[0][0] < step:
+            _, _, handle = heapq.heappop(self._timeouts)
+            if self._live(handle):
+                self._resolve(handle, SessionState.TIMED_OUT, step)
+
+    def _shed_queued(self, n: int, step: int) -> None:
+        """Shed ``n`` queued requests: lowest priority first, youngest first.
+
+        Within a priority class the *youngest* submission goes first, so the
+        longest-waiting work of every class survives the purge.
+        """
+        candidates = [h for _, _, h in self._ready if self._live(h)]
+        candidates.sort(key=lambda h: (h.request.priority, -h.index))
+        for handle in candidates[:n]:
+            self._resolve(handle, SessionState.SHED, step)
+
+    def _contain_callback(self, handle: RequestHandle, which: str) -> None:
+        """A user callback raised mid-dispatch: warn once, detach, move on.
+
+        The engine's step must stay atomic no matter what user code does, so
+        the offending callback is detached (it will never fire again for
+        this handle) and the first containment emits one ``RuntimeWarning``
+        per engine; ``callback_errors`` in the report counts them all.
+        """
+        self._callback_errors += 1
+        setattr(handle, which, None)
+        if not self._callback_warned:
+            self._callback_warned = True
+            warnings.warn(
+                f"user {which} callback for request {handle.request_id!r} "
+                f"raised; detached it and continuing (this warning fires "
+                f"once per engine -- see report policy['callback_errors'] "
+                f"for the total)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _dispatch_token(self, handle: RequestHandle, token: int, step: int) -> None:
+        cb = handle.on_token
+        if cb is None:
+            return
+        try:
+            if self._faults is not None and self._faults.fires(
+                "callback.on_token", handle.request_id, step
+            ):
+                raise InjectedCallbackError(
+                    f"injected on_token failure for {handle.request_id!r}"
+                )
+            cb(handle, token, step)
+        except Exception:
+            self._contain_callback(handle, "on_token")
+
+    def _fire_complete(self, handle: RequestHandle, step: int) -> None:
+        """Dispatch ``on_complete`` exactly once per handle, contained."""
+        if handle._complete_fired:
+            return
+        handle._complete_fired = True
+        cb = handle.on_complete
+        if cb is None:
+            return
+        try:
+            if self._faults is not None and self._faults.fires(
+                "callback.on_complete", handle.request_id, step
+            ):
+                raise InjectedCallbackError(
+                    f"injected on_complete failure for {handle.request_id!r}"
+                )
+            cb(handle, handle.session.to_metrics())
+        except Exception:
+            self._contain_callback(handle, "on_complete")
+
     def step(self) -> Dict[str, int]:
         """Advance one engine step; returns ``{request_id: emitted_token}``."""
         emitted: Dict[str, int] = {}
         step = self.current_step
+
+        # timeout reaper first: a request past its hard bound must not take
+        # (or keep) a batch slot this step
+        if self._timeouts:
+            self._reap_timeouts(step)
 
         # dynamic admission policies (aging) re-key the whole ready queue
         # each step -- their ordering depends on how long requests waited
@@ -574,16 +928,25 @@ class ServingEngine:
             self._ready = [
                 (self.admission.admission_key_at(handle, step), index, handle)
                 for _, index, handle in self._ready
+                if self._live(handle)
             ]
             heapq.heapify(self._ready)
 
         # arrivals: everything due this step joins the ready queue in the
-        # admission policy's order (cancelled handles are dropped lazily)
+        # admission policy's order (terminal handles are dropped lazily)
         while self._pending and self._pending[0][0] <= step:
             _, _, handle = heapq.heappop(self._pending)
-            if handle.cancelled:
+            if not self._live(handle):
                 continue
             self._push_ready(handle)
+
+        # overload watchdog: with arrivals counted, advance the hysteresis
+        # state machine and shed the lowest-priority queued excess
+        if self.watchdog is not None:
+            self.watchdog.update(self.n_queued, step)
+            excess = self.watchdog.shed_excess(self.n_queued)
+            if excess > 0:
+                self._shed_queued(excess, step)
 
         # preemption (tentative): the scheduling policy may evict active
         # sessions for strictly more urgent ready requests.  Victims leave
@@ -595,7 +958,7 @@ class ServingEngine:
         pre_active = list(self._active)
         victims: List[RequestHandle] = []
         if self.scheduling.preemptive and self._ready:
-            ready_handles = [h for *_, h in self._ready if not h.cancelled]
+            ready_handles = [h for *_, h in self._ready if self._live(h)]
             victims = self.scheduling.select_preemptions(
                 ready_handles, pre_active, self.max_active - len(pre_active), step
             )
@@ -608,8 +971,8 @@ class ServingEngine:
         admitted: List[RequestHandle] = []
         while free > 0 and self._ready:
             _, _, handle = self._ready[0]
-            if handle.cancelled:
-                heapq.heappop(self._ready)  # counted out when cancelled
+            if not self._live(handle):
+                heapq.heappop(self._ready)  # counted out when it went terminal
                 continue
             if not self.admission.may_admit(handle, self):
                 break
@@ -666,12 +1029,20 @@ class ServingEngine:
                 h for h in self._active
                 if h.session.state is SessionState.PREFILLING
             ]
+            # schedule-time arena probe: every session about to append KV
+            # rows this step (prefill chunks and decode rows alike) is
+            # tested before the fused forward; faulted ones never enter it
+            if self._faults is not None and self.arena is not None:
+                prefilling = self._check_arena_faults(prefilling, step)
+                decoding = self._check_arena_faults(decoding, step)
             # spend the step's prefill-row budget in admission order: the
             # head always progresses (its chunk is clamped to >= 1 row even
             # under a zero-returning policy override, so the engine cannot
             # livelock), long prompts split across steps, later sessions may
             # wait a step entirely
             budget = self.admission.prefill_token_budget(self)
+            if self.watchdog is not None:
+                budget = self.watchdog.throttle(budget)
             chunked: List[RequestHandle] = []
             chunk_sizes: List[int] = []
             for handle in prefilling:
@@ -707,12 +1078,19 @@ class ServingEngine:
                 )
             recipients = chunked + decoding
         else:
+            if self._faults is not None and self.arena is not None:
+                admitted = self._check_arena_faults(admitted, step)
+                decoding = self._check_arena_faults(decoding, step)
             for handle in admitted:
                 session = handle.session
-                if session.state is SessionState.PREEMPTED:
-                    token = session.resume(step)
-                else:
-                    token = session.admit(step)
+                try:
+                    if session.state is SessionState.PREEMPTED:
+                        token = session.resume(step)
+                    else:
+                        token = session.admit(step)
+                except _FAULT_TYPES as exc:
+                    self._quarantine(handle, exc, step)
+                    continue
                 emitted[handle.request_id] = token
             if decoding:
                 if self.fused:
@@ -723,12 +1101,23 @@ class ServingEngine:
                     )
                 else:
                     for handle in decoding:
-                        emitted[handle.request_id] = handle.session.decode_step(step)
+                        try:
+                            emitted[handle.request_id] = handle.session.decode_step(
+                                step
+                            )
+                        except _FAULT_TYPES as exc:
+                            self._quarantine(handle, exc, step)
             recipients = admitted + decoding
 
+        # commit-time faults the batch loops quarantined per-session: route
+        # each to retry-with-backoff or FAILED before callbacks/retirement,
+        # so the surviving rows' commits stand and the step stays atomic
+        if self._faults is not None:
+            self._route_commit_faults(recipients, step)
+
         for handle in recipients:
-            if handle.on_token is not None and handle.request_id in emitted:
-                handle.on_token(handle, emitted[handle.request_id], step)
+            if handle.request_id in emitted:
+                self._dispatch_token(handle, emitted[handle.request_id], step)
 
         retired = 0
         for handle in list(self._active):
@@ -736,10 +1125,10 @@ class ServingEngine:
                 self._active.remove(handle)
                 handle.session.release_kv()  # pages return to the pool now
                 self._finished.append(handle)
+                self._terminal.append(handle)
                 self.admission.on_release(handle, self)
                 retired += 1
-                if handle.on_complete is not None:
-                    handle.on_complete(handle, handle.session.to_metrics())
+                self._fire_complete(handle, step)
 
         stats: Dict[str, int] = {
             "step": step,
@@ -763,31 +1152,70 @@ class ServingEngine:
         return emitted
 
     def run(self, max_steps: int = 100_000) -> ServingReport:
-        """Step until every submitted request finishes (or ``max_steps``)."""
+        """Step until every submitted request resolves (or ``max_steps``).
+
+        Hitting ``max_steps`` with work still queued/active no longer
+        raises: the returned report carries ``truncated=True`` plus the
+        leftover queue/batch counts, so partial results stay inspectable
+        (and a caller that wants the old behaviour can assert on it).
+        """
         while self.has_work and self.current_step < max_steps:
             self.step()
-        if self.has_work:
-            raise RuntimeError(
-                f"engine did not drain within {max_steps} steps "
-                f"({self.n_queued} queued, {self.n_active} active)"
-            )
+        return self.report()
+
+    def drain(self, max_steps: int = 100_000) -> ServingReport:
+        """Graceful stop: refuse new work, run the backlog dry, report.
+
+        Every already-submitted request is served to its natural terminal
+        state (further :meth:`submit` calls raise), so the arena's books
+        balance in the final report -- zero pages in use, every fault freed.
+        """
+        self._closed = True
+        return self.run(max_steps)
+
+    def shutdown(self) -> ServingReport:
+        """Immediate stop: resolve all outstanding work as ``SHED``, report.
+
+        No further forward passes run; queued and active requests alike are
+        terminally resolved (with their KV released and ``on_complete``
+        fired) at the current step, so the engine still exits with balanced
+        arena books -- just without serving the backlog.
+        """
+        self._closed = True
+        step = self.current_step
+        for handle in list(self._active):
+            self._resolve(handle, SessionState.SHED, step)
+        for heap in (self._pending, self._ready):
+            for entry in heap:
+                handle = entry[2]
+                if self._live(handle):
+                    self._resolve(handle, SessionState.SHED, step)
+        self._pending.clear()
+        self._ready.clear()
+        self._timeouts.clear()
         return self.report()
 
     def report(self) -> ServingReport:
-        """Snapshot of the *completed* requests so far.
+        """Snapshot of the terminally-resolved requests so far.
 
         Queued, still-active and cancelled sessions are excluded from the
         per-request metrics, so a mid-run call (while :attr:`has_work` is
         true) understates total tokens, throughput and the latency
-        aggregates; :meth:`run` only reports after draining.
+        aggregates -- and is marked ``truncated`` with the leftover counts;
+        :meth:`run` reports after draining (or marks the truncation).
         """
-        metrics = [h.session.to_metrics() for h in self._finished]
+        metrics = [h.session.to_metrics() for h in self._terminal]
         policy = {
             "admission": self.admission.name,
             "scheduling": self.scheduling.name,
             "preemptions": sum(m.preemptions for m in metrics),
             "deadline_misses": sum(m.deadline_misses for m in metrics),
             "cancelled": len(self._cancelled),
+            "failed": len(self._failed),
+            "timed_out": len(self._timed_out),
+            "shed": len(self._shed),
+            "retries": sum(m.retries for m in metrics),
+            "callback_errors": self._callback_errors,
         }
         return ServingReport(
             steps=self.current_step,
@@ -795,6 +1223,9 @@ class ServingEngine:
             requests=metrics,
             arena=self.arena.stats.to_json() if self.arena is not None else None,
             policy=policy,
+            truncated=self.has_work,
+            leftover_queued=self.n_queued,
+            leftover_active=self.n_active,
         )
 
 

@@ -14,11 +14,20 @@ The session lifecycle is a small state machine::
 
     QUEUED --begin_admit()--> PREFILLING --(last chunk)--> ACTIVE --(budget/EOS)--> FINISHED
                                   ^   |                     |
-                                  |   +------ preempt() ----+
+                                  |   +-- preempt()/retry()-+
                            begin_resume()     v
                                   +------ PREEMPTED
 
     any non-terminal state --cancel()--> CANCELLED
+    any non-terminal state --finalize()--> FAILED | TIMED_OUT | SHED
+
+``FINISHED``, ``CANCELLED``, ``FAILED``, ``TIMED_OUT`` and ``SHED`` are
+terminal: the engine resolves every request into exactly one of them, and
+:meth:`GenerationSession.to_metrics` works for any of them (``outcome``
+names which).  :meth:`retry` is the fault-recovery twin of :meth:`preempt`:
+same KV release and ``PREEMPTED`` re-entry (so a resume re-prefills
+``prompt + generated`` bit-identically), but counted as a retry rather than
+a policy eviction.
 
 Admission enters the **chunked prefill pipeline**: a ``PREFILLING`` session
 feeds its prompt to the model in ragged chunks (batched with every other
@@ -42,9 +51,23 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence
 
-from ..model.generation import IncrementalDecoder, KeyPredictor
+import numpy as np
 
-__all__ = ["Request", "RequestMetrics", "SessionState", "GenerationSession"]
+from ..model.generation import IncrementalDecoder, KeyPredictor, KVCorruptionError
+from .faults import FaultError, SessionComputeFault
+
+__all__ = [
+    "Request",
+    "RequestMetrics",
+    "SessionState",
+    "TERMINAL_STATES",
+    "GenerationSession",
+]
+
+#: Exception types the per-session containment in the batch commit loops
+#: catches: injected faults plus the real KV-integrity detector.  Anything
+#: else is a genuine bug and must crash loudly, not be quarantined.
+_FAULT_TYPES = (FaultError, KVCorruptionError)
 
 
 @dataclass(frozen=True)
@@ -56,6 +79,10 @@ class Request:
     is an optional completion target measured in engine steps *from arrival*;
     deadline-aware policies schedule against it and
     :attr:`RequestMetrics.deadline_misses` records whether it was met.
+    ``timeout_steps`` is a *hard* bound on the same clock: a request still
+    unfinished after that many steps past arrival is resolved ``TIMED_OUT``
+    by the engine (deadlines are advisory and merely counted as missed;
+    timeouts terminate).
     """
 
     request_id: str
@@ -65,6 +92,7 @@ class Request:
     arrival_step: int = 0
     priority: int = 0
     deadline_steps: Optional[int] = None
+    timeout_steps: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.prompt_tokens) == 0:  # len(), not truthiness: arrays are welcome
@@ -75,6 +103,8 @@ class Request:
             raise ValueError("arrival_step must be >= 0")
         if self.deadline_steps is not None and self.deadline_steps < 1:
             raise ValueError("deadline_steps must be >= 1 when given")
+        if self.timeout_steps is not None and self.timeout_steps < 1:
+            raise ValueError("timeout_steps must be >= 1 when given")
 
     @property
     def deadline_step(self) -> Optional[int]:
@@ -88,6 +118,19 @@ class Request:
             return None
         return self.arrival_step + self.deadline_steps
 
+    @property
+    def timeout_step(self) -> Optional[int]:
+        """Last step the request may still resolve before timing out.
+
+        ``None`` when the request has no timeout.  The engine reaps a
+        non-terminal request at the start of the first step *past* this one,
+        mirroring the deadline-miss convention (``finished > deadline``): a
+        request finishing exactly at ``timeout_step`` made it.
+        """
+        if self.timeout_steps is None:
+            return None
+        return self.arrival_step + self.timeout_steps
+
 
 class SessionState(Enum):
     QUEUED = "queued"
@@ -96,6 +139,21 @@ class SessionState(Enum):
     PREEMPTED = "preempted"
     FINISHED = "finished"
     CANCELLED = "cancelled"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+    SHED = "shed"
+
+
+#: The five states a request can end in; exactly one per request, ever.
+TERMINAL_STATES = frozenset(
+    {
+        SessionState.FINISHED,
+        SessionState.CANCELLED,
+        SessionState.FAILED,
+        SessionState.TIMED_OUT,
+        SessionState.SHED,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -117,13 +175,24 @@ class RequestMetrics:
     written before the split still load (``from_json`` tolerates the missing
     keys) and newer reports degrade cleanly in old readers (unknown keys are
     ignored).
+
+    The failure model (PR 7) generalises the record to every terminal
+    outcome: ``outcome`` is one of ``finished`` / ``failed`` / ``timed_out``
+    / ``shed`` / ``cancelled``, ``retries`` counts fault-recovery
+    re-prefills (the hardened twin of ``preemptions``), and ``failure``
+    carries the structured :class:`~repro.serve.faults.FailureInfo` dict of
+    a failed request (``None`` otherwise).  A request that never got a slot
+    (e.g. shed while queued) has ``admitted_step is None`` -- the derived
+    step properties return ``None`` instead of arithmetic on missing
+    timestamps -- and all three new fields default to the fault-free values
+    so pre-faults reports load (and old readers ignore the new keys).
     """
 
     request_id: str
     arrival_step: int
-    admitted_step: int
-    first_token_step: int
-    finished_step: int
+    admitted_step: Optional[int]
+    first_token_step: Optional[int]
+    finished_step: Optional[int]
     n_generated: int
     keys_attended: int
     keys_total: int
@@ -132,17 +201,26 @@ class RequestMetrics:
     deadline_misses: int = 0
     queue_steps: Optional[int] = None
     prefill_steps: Optional[int] = None
+    outcome: str = "finished"
+    retries: int = 0
+    failure: Optional[dict] = None
 
     @property
-    def queue_delay_steps(self) -> int:
+    def queue_delay_steps(self) -> Optional[int]:
+        if self.admitted_step is None:
+            return None
         return self.admitted_step - self.arrival_step
 
     @property
-    def time_to_first_token_steps(self) -> int:
+    def time_to_first_token_steps(self) -> Optional[int]:
+        if self.first_token_step is None:
+            return None
         return self.first_token_step - self.arrival_step
 
     @property
-    def latency_steps(self) -> int:
+    def latency_steps(self) -> Optional[int]:
+        if self.finished_step is None:
+            return None
         return self.finished_step - self.arrival_step
 
     @property
@@ -184,6 +262,15 @@ class GenerationSession:
         self.first_token_step: Optional[int] = None
         self.finished_step: Optional[int] = None
         self.preemptions = 0
+        self.retries = 0
+        # failure machinery: the engine installs its FaultInjector here (None
+        # keeps every commit on the unguarded fast path), last_fault holds a
+        # quarantined-but-unprocessed fault between the batch commit loop and
+        # the engine's retry/fail routing, and failure the final FailureInfo
+        # dict of a FAILED session
+        self.fault_injector = None
+        self.last_fault: Optional[Exception] = None
+        self.failure: Optional[dict] = None
         self._pending_token: Optional[int] = None
         # traffic counters of decoders retired by preemption (the re-prefill
         # work of resume() is real served traffic and must stay visible)
@@ -271,6 +358,64 @@ class GenerationSession:
         self.state = SessionState.PREEMPTED
         self.preemptions += 1
 
+    def retry(self, step: int) -> None:
+        """Requeue the session after a fault: release KV, keep the tokens.
+
+        The fault-recovery twin of :meth:`preempt` -- the faulted decoder's
+        KV is untrusted (or was never allocated), so it is discarded
+        wholesale and the session re-enters ``PREEMPTED``; the engine
+        requeues it with backoff and the eventual :meth:`begin_resume` /
+        :meth:`resume` re-prefills ``prompt + generated``, which is why a
+        retried request's token stream is bit-identical to a fault-free run.
+        Counted in :attr:`retries` (not ``preemptions``: one is a policy
+        decision, the other a failure).  Unlike preemption this is also
+        legal from ``QUEUED`` and ``PREEMPTED`` -- a schedule-time arena
+        fault can hit a session admitted (or about to be resumed) this very
+        step, before any forward ran.
+        """
+        if self.state not in (
+            SessionState.QUEUED,
+            SessionState.PREFILLING,
+            SessionState.ACTIVE,
+            SessionState.PREEMPTED,
+        ):
+            raise RuntimeError(
+                f"cannot retry session {self.request.request_id!r} "
+                f"({self.state.value})"
+            )
+        if self.decoder is not None:
+            self._keys_attended_base += self.decoder.keys_attended
+            self._keys_total_base += self.decoder.keys_total
+            self.decoder.release()
+            self.decoder = None
+        self.state = SessionState.PREEMPTED
+        self.retries += 1
+
+    def finalize(self, state: SessionState, step: int) -> None:
+        """Terminally resolve the session as FAILED / TIMED_OUT / SHED.
+
+        Releases any KV storage still held (queued, mid-prefill and active
+        sessions alike; a preempted session holds none) and stamps
+        ``finished_step`` so latency is defined for every resolved request.
+        The decoder object is kept (storage-released) so traffic counters
+        stay readable, mirroring :meth:`cancel`.
+        """
+        if state not in (
+            SessionState.FAILED,
+            SessionState.TIMED_OUT,
+            SessionState.SHED,
+        ):
+            raise ValueError(f"finalize() resolves failure states, not {state}")
+        if self.is_terminal:
+            raise RuntimeError(
+                f"cannot finalize session {self.request.request_id!r} "
+                f"({self.state.value})"
+            )
+        if self.decoder is not None:
+            self.decoder.release()
+        self.state = state
+        self.finished_step = step
+
     def resume(self, step: int) -> int:
         """Re-admit a preempted session; emits its next token.
 
@@ -297,7 +442,7 @@ class GenerationSession:
 
     def cancel(self) -> None:
         """Abort the request and free its KV storage (terminal)."""
-        if self.state in (SessionState.FINISHED, SessionState.CANCELLED):
+        if self.is_terminal:
             raise RuntimeError(
                 f"cannot cancel session {self.request.request_id!r} "
                 f"({self.state.value})"
@@ -352,10 +497,10 @@ class GenerationSession:
                 continue  # chunks remain; the session keeps its slot
             session.state = SessionState.ACTIVE
             session._pending_token = token
-            emitted[session.request.request_id] = session._commit(step)
+            emitted.update(session._commit_contained(step))
         for session, token in zip(decoding, decode_tokens):
             session._pending_token = token
-            emitted[session.request.request_id] = session._commit(step)
+            emitted.update(session._commit_contained(step))
         return emitted
 
     @staticmethod
@@ -386,10 +531,76 @@ class GenerationSession:
         emitted: Dict[str, int] = {}
         for session, token in zip(sessions, next_tokens):
             session._pending_token = token
-            emitted[session.request.request_id] = session._commit(step)
+            emitted.update(session._commit_contained(step))
         return emitted
 
+    def _commit_contained(self, step: int) -> Dict[str, int]:
+        """Commit with per-session fault isolation for the batch loops.
+
+        A fault raised by this session's commit (injected or the real KV
+        integrity check) is parked on :attr:`last_fault` for the engine to
+        route (retry / FAILED) instead of propagating -- one bad row must
+        never abort its siblings' commits, which is what keeps an engine
+        step atomic for the surviving batch.  Returns ``{request_id: token}``
+        on success, ``{}`` when quarantined (the token is discarded: a
+        faulted step's output is untrusted).
+        """
+        try:
+            return {self.request.request_id: self._commit(step)}
+        except _FAULT_TYPES as exc:
+            self.last_fault = exc
+            return {}
+
+    def _inject_and_verify(self, step: int) -> None:
+        """Pre-commit fault gate (only reached with an injector installed).
+
+        Order matters: the ``session.append`` corruption lands first (a
+        garbage KV row *really* written to the layer-0 cache), then the
+        *real* row-count integrity check runs -- catching both the injected
+        corruption and any genuine torn append -- and finally the pure
+        ``session.compute`` fault fires.  All three abort the commit before
+        the pending token is accepted, so a quarantined session's
+        ``generated_tokens`` stay exactly the fault-free prefix.
+        """
+        injector = self.fault_injector
+        rid = self.request.request_id
+        if injector.has_site("session.append"):
+            if injector.fires("session.append", rid, step):
+                self._corrupt_kv_append()
+            # rows every layer must hold right now: the replayed prefix
+            # (prompt + generated) was appended in full by the forward that
+            # produced the pending token, which itself is not yet in any
+            # cache.  The check only runs when appends can be corrupted --
+            # there is nothing to catch otherwise, and skipping it keeps
+            # append-less armed plans inside the benchmark's overhead gate.
+            self.decoder.verify_kv_rows(
+                len(self.request.prompt_tokens) + len(self.generated_tokens)
+            )
+        if injector.fires("session.compute", rid, step):
+            raise SessionComputeFault(
+                f"injected compute fault for request {rid!r} at step {step}"
+            )
+
+    def _corrupt_kv_append(self) -> None:
+        """Write one garbage KV row into the layer-0 cache (injection only).
+
+        The detection that follows is genuine machinery
+        (:meth:`~repro.model.generation.IncrementalDecoder.verify_kv_rows`);
+        only the corruption itself is simulated.  Cache-less stub models
+        hold no rows to corrupt, so the injection is a no-op there.
+        """
+        caches = self.decoder.caches if self.decoder is not None else []
+        if not caches:
+            return
+        rows = caches[0].keys
+        if rows is None or rows.shape[0] == 0:
+            return
+        garbage = np.zeros((1, rows.shape[1]), dtype=rows.dtype)
+        caches[0].append(garbage, garbage)
+
     def _commit(self, step: int) -> int:
+        if self.fault_injector is not None:
+            self._inject_and_verify(step)
         token = int(self._pending_token)
         self.generated_tokens.append(token)
         if self.first_token_step is None:
@@ -420,6 +631,10 @@ class GenerationSession:
         return self.state is SessionState.FINISHED
 
     @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
     def is_prefilling(self) -> bool:
         return self.state is SessionState.PREFILLING
 
@@ -441,26 +656,58 @@ class GenerationSession:
         live = self.decoder.keys_total if self.decoder is not None else 0
         return self._keys_total_base + live
 
+    #: SessionState -> RequestMetrics.outcome for every terminal state.
+    _OUTCOMES = {
+        SessionState.FINISHED: "finished",
+        SessionState.CANCELLED: "cancelled",
+        SessionState.FAILED: "failed",
+        SessionState.TIMED_OUT: "timed_out",
+        SessionState.SHED: "shed",
+    }
+
     def to_metrics(self) -> RequestMetrics:
-        """Snapshot the finished session as an immutable metrics record."""
-        if not self.is_finished:
+        """Snapshot the terminally-resolved session as a metrics record.
+
+        Works for every terminal state; ``outcome`` names which one.  A
+        request resolved before reaching a milestone (admission, first
+        token, completion) carries ``None`` for that timestamp and the
+        derived step properties degrade to ``None`` rather than producing
+        arithmetic on missing data.
+        """
+        if not self.is_terminal:
             raise RuntimeError(
                 f"session {self.request.request_id!r} is not finished yet"
             )
         deadline = self.request.deadline_step
-        missed = int(deadline is not None and self.finished_step > deadline)
+        missed = int(
+            deadline is not None
+            and self.finished_step is not None
+            and self.finished_step > deadline
+        )
+        admitted = None if self.admitted_step is None else int(self.admitted_step)
+        first = None if self.first_token_step is None else int(self.first_token_step)
+        finished = None if self.finished_step is None else int(self.finished_step)
+        queue_steps = (
+            None if admitted is None else admitted - self.request.arrival_step
+        )
+        prefill_steps = (
+            None if first is None or admitted is None else first - admitted
+        )
         return RequestMetrics(
             request_id=self.request.request_id,
             arrival_step=self.request.arrival_step,
-            admitted_step=int(self.admitted_step),
-            first_token_step=int(self.first_token_step),
-            finished_step=int(self.finished_step),
+            admitted_step=admitted,
+            first_token_step=first,
+            finished_step=finished,
             n_generated=self.n_generated,
             keys_attended=self.keys_attended,
             keys_total=self.keys_total,
             priority=self.request.priority,
             preemptions=self.preemptions,
             deadline_misses=missed,
-            queue_steps=int(self.admitted_step) - self.request.arrival_step,
-            prefill_steps=int(self.first_token_step) - int(self.admitted_step),
+            queue_steps=queue_steps,
+            prefill_steps=prefill_steps,
+            outcome=self._OUTCOMES[self.state],
+            retries=self.retries,
+            failure=self.failure,
         )

@@ -191,13 +191,20 @@ LAST_STEP_GOLDEN = {
     "arena_gather_bytes_copied": 245760,
 }
 
-# per-policy metrics block of the FCFS/FIFO shim run (no preemption possible)
+# per-policy metrics block of the FCFS/FIFO shim run (no preemption possible;
+# the failure-model counters -- failed/timed_out/shed/retries/callback_errors,
+# PR 7 -- are structurally zero on a fault-free run)
 POLICY_GOLDEN = {
     "admission": "fifo",
     "scheduling": "fcfs",
     "preemptions": 0,
     "deadline_misses": 0,
     "cancelled": 0,
+    "failed": 0,
+    "timed_out": 0,
+    "shed": 0,
+    "retries": 0,
+    "callback_errors": 0,
 }
 
 REPORT_JSON_KEYS = {
@@ -208,6 +215,9 @@ REPORT_JSON_KEYS = {
     "mean_latency_steps",
     "p95_latency_steps",
     "mean_queue_delay_steps",
+    "truncated",
+    "leftover_queued",
+    "leftover_active",
     "arena",
     "policy",
     "requests",

@@ -189,11 +189,13 @@ class TestScheduler:
         assert report.latency_percentile(95) >= report.latency_percentile(50)
         assert report.mean_queue_delay_steps >= 0.0
 
-    def test_run_raises_when_not_drained(self):
+    def test_run_reports_truncated_when_not_drained(self):
         sched = ContinuousBatchingScheduler(StubModel(), max_active=1)
         sched.submit(Request("r0", prompt_tokens=[0], max_new_tokens=50))
-        with pytest.raises(RuntimeError):
-            sched.run(max_steps=3)
+        report = sched.run(max_steps=3)
+        assert report.truncated
+        assert report.leftover_active == 1
+        assert report.steps == 3
 
     def test_rejects_bad_max_active(self):
         with pytest.raises(ValueError):

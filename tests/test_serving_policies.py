@@ -26,6 +26,7 @@ from repro.serve import (
     PriorityAdmission,
     Request,
     ServingEngine,
+    ServingReport,
     SessionState,
     make_policies,
 )
@@ -206,11 +207,19 @@ class TestServingEngineFacade:
         with pytest.raises(ValueError, match="duplicate request_id"):
             engine.submit(Request("dup", prompt_tokens=[1], max_new_tokens=1))
 
-    def test_run_raises_when_not_drained(self):
+    def test_run_reports_truncated_when_not_drained(self):
         engine = ServingEngine(StubModel(), max_active=1)
         engine.submit(Request("r0", prompt_tokens=[0], max_new_tokens=50))
-        with pytest.raises(RuntimeError):
-            engine.run(max_steps=3)
+        report = engine.run(max_steps=3)
+        assert report.truncated
+        assert report.leftover_queued == 0
+        assert report.leftover_active == 1
+        # round-trips both ways: new payloads keep the flag, old ones default
+        assert ServingReport.from_json(report.to_json()).truncated
+        legacy = report.to_json()
+        for key in ("truncated", "leftover_queued", "leftover_active"):
+            legacy.pop(key)
+        assert ServingReport.from_json(legacy).truncated is False
 
 
 # -- deprecation shim ----------------------------------------------------------
