@@ -140,6 +140,16 @@ FAULT_REPEATS = 21
 FAULT_PROBABILITY = 0.01  # per-opportunity rate of the recovery chaos trace
 FAULT_SEED = 23
 
+# snapshot grid (PR 8): the preemption-heavy priority trace replayed with
+# kv_snapshots on/off (fp, then int8), plus a 512-token-context resume leg
+# and an arena-level snapshot/restore micro-timing at the same context.
+# int8 pages are 1 byte + one float64 scale per 64-wide row, so peak KV
+# bytes must land near (1 + 8/64)/8 ~ 0.14x of fp; 0.2 leaves margin for
+# small schedule drift from quantised argmax flips.
+SNAPSHOT_INT8_BYTES_GATE = 0.2
+SNAPSHOT_LONG_PROMPT = 480
+SNAPSHOT_LONG_DECODE = 32  # prompt + decode = a 512-token context at resume
+
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
 
@@ -702,6 +712,190 @@ def _faults_block(model, stream):
     }
 
 
+def _snapshot_page_bytes(config, page_size, int8):
+    """Resident bytes of one arena page (K+V, all layers) per pool dtype."""
+    rows = page_size * config.n_layers * 2
+    if int8:
+        return rows * config.hidden_size + rows * 8  # int8 rows + f64 scales
+    return rows * config.hidden_size * 8
+
+
+def _snapshot_block(model):
+    """Snapshot preemption on/off over the preemption-heavy priority trace.
+
+    Correctness asserts here are all step-domain (bit-identical tokens,
+    bit-equal schedule, strictly fewer KV appends, balanced books); only the
+    512-token snapshot/restore micro-timing rides a clock, and it is
+    recorded for the trajectory, never gated.
+    """
+    config = model.config
+    requests = _policy_trace(config)
+    reference = {
+        r.request_id: generate(
+            model, r.prompt_tokens, max_new_tokens=r.max_new_tokens
+        ).generated_tokens
+        for r in requests
+    }
+
+    def _run(kv_snapshots, kv_dtype=None):
+        admission, scheduling = make_policies("priority")
+        engine = ServingEngine(
+            model,
+            max_active=GATED_BATCH,
+            admission=admission,
+            scheduling=scheduling,
+            kv_snapshots=kv_snapshots,
+            kv_dtype=kv_dtype,
+        )
+        handles = engine.submit_many(requests)
+        report = engine.run()
+        return report, {h.request_id: h.generated_tokens for h in handles}
+
+    reports, tokens = {}, {}
+    for mode, snap in (("off", False), ("on", True)):
+        reports[mode], tokens[mode] = _run(snap)
+    # snapshots are an execution detail: the fp engine must reproduce every
+    # solo stream and the exact snapshot-off (= pre-PR) step schedule
+    assert tokens["on"] == tokens["off"] == reference, (
+        "kv_snapshots changed the token streams"
+    )
+    schedule = {
+        mode: [
+            (m.request_id, m.admitted_step, m.first_token_step, m.finished_step)
+            for m in reports[mode].requests
+        ]
+        for mode in ("off", "on")
+    }
+    assert schedule["on"] == schedule["off"], (
+        "kv_snapshots perturbed the step-domain schedule"
+    )
+    arena_on, arena_off = reports["on"].arena, reports["off"].arena
+    assert reports["on"].total_preemptions > 0, (
+        "the snapshot trace no longer exercises preemption"
+    )
+    assert arena_on["snapshots_taken"] >= reports["on"].total_preemptions
+    assert arena_on["pages_in_use"] == 0, "snapshot trace leaked arena pages"
+
+    # int8 leg: same trace, quantised pool, snapshots on.  Tokens may
+    # legitimately drift from fp (documented tolerance), so only the
+    # capacity counters are compared.
+    int8_report, _ = _run(True, kv_dtype="int8")
+    assert int8_report.arena["pages_in_use"] == 0
+    page_size = int(arena_on["page_size"])
+    peak_bytes = {
+        "fp": arena_on["peak_pages_in_use"]
+        * _snapshot_page_bytes(config, page_size, int8=False),
+        "int8": int8_report.arena["peak_pages_in_use"]
+        * _snapshot_page_bytes(config, page_size, int8=True),
+    }
+
+    # 512-token-context resume leg: one long low-priority session is
+    # preempted mid-decode by a burst of high-priority work on a single
+    # slot, then resumes.  Snapshot-off replays the whole context through
+    # prefill; snapshot-on faults the pages back and replays nothing.
+    rng = np.random.default_rng(FAULT_SEED)
+    long_requests = [
+        Request(
+            "long",
+            prompt_tokens=rng.integers(
+                0, config.vocab_size, size=SNAPSHOT_LONG_PROMPT
+            ).tolist(),
+            max_new_tokens=SNAPSHOT_LONG_DECODE,
+            priority=0,
+            arrival_step=0,
+        ),
+        Request(
+            "rush",
+            prompt_tokens=rng.integers(0, config.vocab_size, size=6).tolist(),
+            max_new_tokens=4,
+            priority=2,
+            arrival_step=SNAPSHOT_LONG_PROMPT // 32 + 8,  # mid-decode
+        ),
+    ]
+    long_runs = {}
+    for mode, snap in (("off", False), ("on", True)):
+        admission, scheduling = make_policies("priority")
+        engine = ServingEngine(
+            model,
+            max_active=1,
+            admission=admission,
+            scheduling=scheduling,
+            kv_snapshots=snap,
+        )
+        handles = engine.submit_many(long_requests)
+        report = engine.run()
+        long_runs[mode] = report
+        for handle in handles:
+            solo = generate(
+                model,
+                handle.request.prompt_tokens,
+                max_new_tokens=handle.request.max_new_tokens,
+            )
+            assert handle.generated_tokens == solo.generated_tokens, (
+                f"long-context {mode} run diverged for {handle.request_id}"
+            )
+    assert long_runs["on"].total_preemptions > 0, (
+        "the long-context leg never preempted the 512-token session"
+    )
+    reprefill_rows_avoided = (
+        long_runs["off"].arena["tokens_appended"]
+        - long_runs["on"].arena["tokens_appended"]
+    )
+
+    # arena-level micro-timing: snapshot + restore of a full 512-token
+    # session, per pool dtype (page copies only -- no model compute)
+    micro = {}
+    context = SNAPSHOT_LONG_PROMPT + SNAPSHOT_LONG_DECODE
+    k = rng.normal(size=(context, config.hidden_size))
+    v = rng.normal(size=(context, config.hidden_size))
+    for dtype_name, kv_dtype in (("fp", None), ("int8", "int8")):
+        arena = PagedKVArena(
+            n_layers=config.n_layers,
+            page_size=page_size,
+            hidden_size=config.hidden_size,
+            kv_dtype=kv_dtype,
+        )
+        sid = arena.create_session()
+        for layer in range(config.n_layers):
+            arena.append(sid, layer, k, v)
+        best, snapshot_bytes = float("inf"), 0
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            snapshot = arena.snapshot_session(sid)
+            arena.restore_session(sid, snapshot)
+            best = min(best, time.perf_counter() - start)
+            snapshot_bytes = arena.stats.snapshot_bytes // arena.stats.snapshots_taken
+        micro[dtype_name] = {
+            "roundtrip_ms": best * 1e3,
+            "snapshot_bytes": int(snapshot_bytes),
+        }
+
+    return {
+        "batch": GATED_BATCH,
+        "requests": POLICY_REQUESTS,
+        "policy": "priority",
+        "preemptions": reports["on"].total_preemptions,
+        "snapshots_taken": arena_on["snapshots_taken"],
+        "snapshots_restored": arena_on["snapshots_restored"],
+        "kv_appends_reprefill": arena_off["tokens_appended"],
+        "kv_appends_snapshot": arena_on["tokens_appended"],
+        "int8": {
+            "peak_kv_bytes_fp": peak_bytes["fp"],
+            "peak_kv_bytes_int8": peak_bytes["int8"],
+            "peak_kv_bytes_ratio": peak_bytes["int8"] / peak_bytes["fp"],
+            "dequant_bytes": int8_report.arena["dequant_bytes"],
+        },
+        "long_context": {
+            "context_tokens": context,
+            "preemptions": long_runs["on"].total_preemptions,
+            "kv_appends_reprefill": long_runs["off"].arena["tokens_appended"],
+            "kv_appends_snapshot": long_runs["on"].arena["tokens_appended"],
+            "reprefill_rows_avoided": int(reprefill_rows_avoided),
+            "snapshot_roundtrip": micro,
+        },
+    }
+
+
 def test_batched_decode_throughput(benchmark):
     model = _build_model()
     engine = MCBPEngine(group_size=4, weight_bits=8)
@@ -788,6 +982,9 @@ def test_batched_decode_throughput(benchmark):
     # prefix-cache grid: shared-head trace cache on/off + divergent no-op
     prefix_block = _prefix_cache_block(model)
 
+    # snapshot grid: kv_snapshots on/off + int8 pool + 512-token resume leg
+    snapshot_block = _snapshot_block(model)
+
     payload = {
         "benchmark": "batched_decode_throughput",
         "model": config.name,
@@ -808,6 +1005,7 @@ def test_batched_decode_throughput(benchmark):
         "prefill": prefill_block,
         "prefix_cache": prefix_block,
         "faults": faults_block,
+        "snapshot": snapshot_block,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -878,6 +1076,17 @@ def test_batched_decode_throughput(benchmark):
         f"failed {faults_block['chaos']['failed']}  "
         "recovery ttft p95 "
         f"{faults_block['chaos']['recovery_ttft_p95_steps']} steps"
+        + "\nsnapshots (priority trace): "
+        f"{snapshot_block['preemptions']} preemptions   KV appends "
+        f"{snapshot_block['kv_appends_reprefill']} reprefill -> "
+        f"{snapshot_block['kv_appends_snapshot']} snapshot   int8 peak KV "
+        f"{snapshot_block['int8']['peak_kv_bytes_ratio']:.3f}x of fp"
+        + "\nsnapshot @512 ctx: "
+        f"{snapshot_block['long_context']['reprefill_rows_avoided']} "
+        "reprefill rows avoided   roundtrip fp "
+        f"{snapshot_block['long_context']['snapshot_roundtrip']['fp']['roundtrip_ms']:.2f} ms"
+        "   int8 "
+        f"{snapshot_block['long_context']['snapshot_roundtrip']['int8']['roundtrip_ms']:.2f} ms"
         + f"\nBSTC decodes: {engine.codec.decode_calls} "
         f"(= {n_matrices} weight matrices)\nreport -> {BENCH_PATH.name}",
     )
@@ -976,4 +1185,31 @@ def test_batched_decode_throughput(benchmark):
         f"{faults_block['hooks_disabled_tokens_per_sec']:.1f} tok/s "
         f"(ratio {faults_block['hook_overhead_ratio']:.3f}, "
         f"gate {FAULT_HOOK_GATE})"
+    )
+    # CI gate: snapshot resumes must be strictly cheaper than re-prefill in
+    # forward work -- fewer KV rows appended over the identical preemption
+    # schedule (deterministic counters; bit-equality of tokens and schedule
+    # asserts inside _snapshot_block), on both the bursty priority trace and
+    # the 512-token-context leg
+    assert (
+        snapshot_block["kv_appends_snapshot"]
+        < snapshot_block["kv_appends_reprefill"]
+    ), (
+        "snapshot preemption failed to beat re-prefill on KV appends: "
+        f"{snapshot_block['kv_appends_snapshot']} vs "
+        f"{snapshot_block['kv_appends_reprefill']}"
+    )
+    assert snapshot_block["long_context"]["reprefill_rows_avoided"] > 0, (
+        "512-token snapshot resume replayed prefill rows"
+    )
+    # CI gate: the int8 pool must shrink peak resident KV bytes to <= 0.2x
+    # of the fp pool on the same trace (per-row scales put the floor near
+    # 0.14x at hidden=64; the margin absorbs quantised-argmax schedule drift)
+    assert (
+        snapshot_block["int8"]["peak_kv_bytes_ratio"]
+        <= SNAPSHOT_INT8_BYTES_GATE
+    ), (
+        "int8 KV pages failed the peak-bytes gate: "
+        f"{snapshot_block['int8']['peak_kv_bytes_ratio']:.3f}x of fp "
+        f"(gate {SNAPSHOT_INT8_BYTES_GATE}x)"
     )

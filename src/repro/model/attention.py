@@ -101,7 +101,11 @@ class KVCache:
       :attr:`values` materialise contiguous copies on demand.  The fused
       batched attention path recognises arena-backed caches and reads the
       pool through :meth:`~repro.serve.kv_arena.PagedKVArena.gather_batch`
-      instead, skipping the per-session materialisation entirely.
+      instead, skipping the per-session materialisation entirely.  An
+      arena in ``KVDtype.INT8`` mode is transparent here: appends are
+      quantised and every read path (``keys``/``values``,
+      ``gather_batch``) dequantises back to float through the arena's
+      per-page scales, so attention always computes over float rows.
     """
 
     def __init__(
@@ -449,7 +453,9 @@ class MultiHeadAttention:
             for b, cache in enumerate(caches):
                 keys[b, : lengths[b]] = cache.keys
                 values[b, : lengths[b]] = cache.values
-            self.stack_copy_bytes += 2 * int(lengths.sum()) * self.hidden_size * 8
+            self.stack_copy_bytes += (
+                2 * int(lengths.sum()) * self.hidden_size * keys.itemsize
+            )
         valid = np.arange(max_len)[None, :] < lengths[:, None]
 
         full_mask = valid
@@ -596,7 +602,9 @@ class MultiHeadAttention:
             for b, cache in enumerate(caches):
                 keys[b, : lengths[b]] = cache.keys
                 values[b, : lengths[b]] = cache.values
-            self.stack_copy_bytes += 2 * int(lengths.sum()) * self.hidden_size * 8
+            self.stack_copy_bytes += (
+                2 * int(lengths.sum()) * self.hidden_size * keys.itemsize
+            )
 
         scale = 1.0 / np.sqrt(self.head_dim)
         flat = np.empty((int(offsets[-1]), self.hidden_size))

@@ -147,6 +147,27 @@ class IncrementalDecoder:
         """Number of tokens currently held in the KV cache."""
         return self.caches[0].seq_len if self.caches else 0
 
+    def snapshot_kv(self):
+        """Copy this stream's KV off-arena and free its pages.
+
+        Returns the :class:`~repro.serve.kv_arena.KVSnapshot` when the
+        decoder is arena-backed; ``None`` for standalone or cache-less
+        streams, whose pages cannot be snapshotted -- the caller falls back
+        to release + re-prefill.  The decoder object stays fully usable:
+        every pending-prefill chunk, statistic and logit survives, and after
+        :meth:`restore_kv` the stream continues bit-identically to one that
+        was never interrupted.
+        """
+        if self.arena is None or not self.caches:
+            return None
+        return self.arena.snapshot_session(self.caches[0].arena_session)
+
+    def restore_kv(self, snapshot) -> None:
+        """Fault a :meth:`snapshot_kv` snapshot's pages back into the stream."""
+        if self.arena is None or not self.caches:
+            raise RuntimeError("restore_kv requires an arena-backed decoder")
+        self.arena.restore_session(self.caches[0].arena_session, snapshot)
+
     def verify_kv_rows(self, expected: int) -> None:
         """Integrity check: every layer must hold exactly ``expected`` KV rows.
 

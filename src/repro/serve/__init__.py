@@ -37,7 +37,12 @@ their pages to the pool, so occupancy tracks live tokens and preemption is
 how priority/deadline policies reclaim KV budget for urgent work; the
 page-fault / occupancy / copy-traffic counters surface in
 :meth:`ServingReport.to_json` next to the per-policy preemption and
-deadline-miss counts.
+deadline-miss counts.  Two opt-in capacity levers layer on top:
+**snapshot preemption** (``ServingEngine(kv_snapshots=True)``) copies a
+victim's pages off-arena and faults them back on resume -- zero re-prefill
+forward passes, bit-identical tokens *and* metrics -- and **int8 KV pages**
+(``kv_dtype="int8"``) store pool rows quantised with per-page scales for an
+~8x smaller arena and snapshots (:class:`KVDtype`, :class:`KVSnapshot`).
 
 The failure model lives in :mod:`repro.serve.faults`: a deterministic,
 seedable :class:`FaultInjector` (driven by a :class:`FaultPlan`) threads
@@ -66,7 +71,7 @@ from .faults import (
     SessionComputeFault,
     TransientArenaFault,
 )
-from .kv_arena import ArenaStats, PagedKVArena
+from .kv_arena import ArenaStats, KVDtype, KVSnapshot, PagedKVArena
 from .policies import (
     AdmissionPolicy,
     AgingPriorityAdmission,
@@ -107,6 +112,8 @@ __all__ = [
     "FaultSpec",
     "GenerationSession",
     "InjectedCallbackError",
+    "KVDtype",
+    "KVSnapshot",
     "LoadShedWatchdog",
     "PagedKVArena",
     "PriorityAdmission",

@@ -30,18 +30,128 @@ simulator:
   Refcount-0 cached pages stay *idle* (materialised, off the free list) and
   are evicted LRU only under ``max_pages`` pressure.
 
+Two capacity multipliers layer on top of the paging machinery:
+
+* **KV dtype** (:class:`KVDtype`): with ``kv_dtype="int8"`` the page pools
+  hold int8 rows plus one per-row float scale per page
+  (``(n_layers, n_pages, page_size)``), quantised symmetrically on append
+  and dequantised on every read (:meth:`~PagedKVArena.gather_batch` and the
+  single-stream views) -- ~8x less pool memory per page.  Scales are
+  per-row, not per-page, so a row's dequantised value is a pure function of
+  the float row that was appended: bit-identical no matter how appends were
+  chunked, which pages a row shares, or whether it travelled through a
+  snapshot.  The default ``KVDtype.FP`` keeps the float pools byte-identical
+  to the pre-quantisation arena.
+* **Snapshots** (:meth:`~PagedKVArena.snapshot_session` /
+  :meth:`~PagedKVArena.restore_session`): a preempted session's rows are
+  copied into a compact off-arena :class:`KVSnapshot` and its live pages
+  freed; restore faults fresh pages back in and copies the rows in place,
+  so the resumed stream skips re-prefill entirely.  Pages someone else also
+  reads (shared prefix mappings, registered index pages) are recorded *by
+  reference* -- the session's refcount transfers to the snapshot, pinning
+  the page -- so shared heads cost nothing to snapshot.  Snapshots store
+  rows in the pool dtype, so int8 mode shrinks them ~8x too.
+
 Every counter the serving report exposes (page faults, occupancy, gather
-traffic, prefix-cache hits) lives in :class:`ArenaStats`.
+traffic, prefix-cache hits, snapshot/dequant traffic) lives in
+:class:`ArenaStats`.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ArenaStats", "PagedKVArena"]
+__all__ = ["ArenaStats", "KVDtype", "KVSnapshot", "PagedKVArena"]
+
+
+class KVDtype(Enum):
+    """Storage dtype of the arena's KV page pools.
+
+    ``FP`` stores rows as-is in the constructor's ``dtype`` (float64 by
+    default) -- byte-identical to the pre-quantisation arena.  ``INT8``
+    stores symmetric per-row int8 quantised rows plus a float scale per row
+    (grouped per page), trading exactness of the stored rows for ~8x
+    capacity; reads dequantise transparently.
+    """
+
+    FP = "fp"
+    INT8 = "int8"
+
+
+def _resolve_kv_dtype(kv_dtype) -> KVDtype:
+    if kv_dtype is None:
+        return KVDtype.FP
+    if isinstance(kv_dtype, KVDtype):
+        return kv_dtype
+    if isinstance(kv_dtype, str):
+        try:
+            return KVDtype(kv_dtype.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown kv_dtype {kv_dtype!r}; available: "
+                f"{sorted(d.value for d in KVDtype)}"
+            ) from None
+    raise TypeError(
+        f"kv_dtype must be a KVDtype, its string value, or None; "
+        f"got {type(kv_dtype).__name__}"
+    )
+
+
+@dataclass
+class KVSnapshot:
+    """Off-arena copy of one session's KV state (all layers).
+
+    ``entries`` holds one tuple per page-table slot, in table order:
+    ``("ref", page_id)`` for a page someone else also reads (the session's
+    refcount was *transferred* to the snapshot, pinning the page in the
+    arena until restore or discard) and
+    ``("data", k, v, k_scale, v_scale)`` for an exclusively-owned page whose
+    rows were copied out in pool dtype and the page freed (scales are
+    ``None`` in fp mode).  ``lengths`` is the per-layer write-cursor array at
+    snapshot time.  Restoring re-attaches the references and faults fresh
+    pages for the data entries, reproducing the session's KV bit-identically.
+    """
+
+    lengths: np.ndarray
+    entries: List[tuple] = field(default_factory=list)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.entries)
+
+    @property
+    def pages_referenced(self) -> int:
+        """Pages recorded by reference (still resident, pinned in the arena)."""
+        return sum(1 for e in self.entries if e[0] == "ref")
+
+    @property
+    def pages_copied(self) -> int:
+        """Pages copied off-arena (their arena pages were freed)."""
+        return self.n_pages - self.pages_referenced
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of off-arena row/scale storage this snapshot holds."""
+        total = 0
+        for e in self.entries:
+            if e[0] == "data":
+                total += sum(a.nbytes for a in e[1:] if a is not None)
+        return total
+
+    def referenced_full_pages(self, page_size: int) -> int:
+        """Referenced pages that are *full* at the snapshot's row count.
+
+        The admission-control discount: a referenced partial tail page is
+        copy-on-written the moment the restored session appends, so only
+        fully-shared pages are guaranteed never to cost a fresh allocation
+        (mirroring the prefix cache's novel-suffix accounting).
+        """
+        full = int(self.lengths.min()) // int(page_size)
+        return sum(1 for e in self.entries[:full] if e[0] == "ref")
 
 
 @dataclass
@@ -67,6 +177,15 @@ class ArenaStats:
     cached_idle_pages`` at every point in time (with the cache off the last
     term is zero and the PR-3 drain identity ``page_faults == pages_freed``
     is unchanged).
+
+    Snapshot/quantisation accounting: ``snapshots_taken`` /
+    ``snapshots_restored`` count :meth:`PagedKVArena.snapshot_session` /
+    ``restore_session`` calls, ``snapshot_bytes`` the off-arena bytes copied
+    out by snapshots (in pool dtype: int8 mode shrinks it ~8x), and
+    ``dequant_bytes`` the float bytes produced by int8 dequantisation on the
+    read paths (0 in fp mode).  A page a snapshot holds by reference still
+    counts in ``pages_in_use`` (it is pinned, not freed); the conservation
+    law above is unchanged by snapshot/restore cycles.
     """
 
     page_size: int
@@ -90,6 +209,11 @@ class ArenaStats:
     cow_copies: int = 0
     cached_idle_pages: int = 0
     prefix_evictions: int = 0
+    snapshots_taken: int = 0
+    snapshots_restored: int = 0
+    snapshot_bytes: int = 0
+    dequant_bytes: int = 0
+    kv_dtype: str = KVDtype.FP.value
 
     @property
     def occupancy(self) -> float:
@@ -153,6 +277,18 @@ class PagedKVArena:
     max_pages:
         Hard capacity bound; exhausting it raises ``RuntimeError`` instead of
         growing, modelling a fixed HBM budget.
+    dtype:
+        Logical (dequantised) dtype of KV rows -- what appends accept and
+        reads return.  In fp mode it is also the pool storage dtype.
+    kv_dtype:
+        Pool storage mode (:class:`KVDtype`, its string value, or ``None``
+        for the default ``FP``).  ``"int8"`` stores symmetric per-row int8
+        rows plus one float scale per row (kept per page in
+        ``(n_layers, n_pages, page_size)`` arrays), quantising on append and
+        dequantising on every read -- ~8x pool memory per page at the cost
+        of quantisation error in the stored rows.  Reads are deterministic
+        pure functions of the int8 rows + scales, so batched/serial/
+        snapshot-restored compositions stay bit-identical to each other.
     """
 
     def __init__(
@@ -163,6 +299,7 @@ class PagedKVArena:
         initial_pages: int = 64,
         max_pages: Optional[int] = None,
         dtype=np.float64,
+        kv_dtype=None,
     ) -> None:
         if n_layers < 1 or hidden_size < 1:
             raise ValueError("n_layers and hidden_size must be >= 1")
@@ -176,13 +313,32 @@ class PagedKVArena:
         self.hidden_size = hidden_size
         self.page_size = page_size
         self.max_pages = max_pages
-        self._k = np.zeros((n_layers, initial_pages, page_size, hidden_size), dtype)
+        self.kv_dtype = _resolve_kv_dtype(kv_dtype)
+        # the logical row dtype (what callers append and read back); the
+        # pools store it directly in fp mode, int8 + per-row scales otherwise
+        self._fp_dtype = np.dtype(dtype)
+        pool_dtype = np.int8 if self.kv_dtype is KVDtype.INT8 else self._fp_dtype
+        self._k = np.zeros(
+            (n_layers, initial_pages, page_size, hidden_size), pool_dtype
+        )
         self._v = np.zeros_like(self._k)
+        if self.kv_dtype is KVDtype.INT8:
+            self._k_scale = np.zeros(
+                (n_layers, initial_pages, page_size), self._fp_dtype
+            )
+            self._v_scale = np.zeros_like(self._k_scale)
+        else:
+            self._k_scale = None
+            self._v_scale = None
         # LIFO free list, lowest page id on top so allocation order is stable
         self._free: List[int] = list(range(initial_pages - 1, -1, -1))
         self._sessions: Dict[int, _Session] = {}
         self._next_sid = 0
-        self.stats = ArenaStats(page_size=page_size, n_pages=initial_pages)
+        self.stats = ArenaStats(
+            page_size=page_size,
+            n_pages=initial_pages,
+            kv_dtype=self.kv_dtype.value,
+        )
         # fault-injection hook (see check_alloc); None keeps every allocation
         # path untouched -- the serving engine installs its injector here
         self.fault_injector = None
@@ -468,14 +624,20 @@ class PagedKVArena:
     ) -> None:
         """Append K/V rows for one layer of one session (allocating pages)."""
         entry = self._sessions[session_id]
-        keys = np.atleast_2d(np.asarray(keys, dtype=self._k.dtype))
-        values = np.atleast_2d(np.asarray(values, dtype=self._v.dtype))
+        keys = np.atleast_2d(np.asarray(keys, dtype=self._fp_dtype))
+        values = np.atleast_2d(np.asarray(values, dtype=self._fp_dtype))
         if keys.shape != values.shape:
             raise ValueError("keys and values must have identical shapes")
         if keys.shape[1] != self.hidden_size:
             raise ValueError(
                 f"expected rows of width {self.hidden_size}, got {keys.shape[1]}"
             )
+        int8 = self._k_scale is not None
+        if int8:
+            # quantise per row *before* placement: the stored bits depend
+            # only on the float row itself, never on its page neighbours
+            keys, k_scales = self._quantise_rows(keys)
+            values, v_scales = self._quantise_rows(values)
         n_new = keys.shape[0]
         ps = self.page_size
         old = int(entry.lengths[layer])
@@ -492,10 +654,37 @@ class PagedKVArena:
             n = min(ps - slot, n_new - row)
             self._k[layer, page, slot : slot + n] = keys[row : row + n]
             self._v[layer, page, slot : slot + n] = values[row : row + n]
+            if int8:
+                self._k_scale[layer, page, slot : slot + n] = k_scales[
+                    row : row + n
+                ]
+                self._v_scale[layer, page, slot : slot + n] = v_scales[
+                    row : row + n
+                ]
             pos += n
             row += n
         entry.lengths[layer] = new
         self.stats.tokens_appended += n_new
+
+    def _quantise_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Symmetric per-row int8 quantisation: ``(q_rows, scales)``.
+
+        ``scale = max|row| / 127`` (1.0 for an all-zero row, so dequantising
+        reproduces it exactly); rounding is banker's ``np.rint``.  Per-row
+        scales make each stored row independent of append chunking and page
+        placement, which is what keeps the fused/serial/snapshot paths
+        bit-identical to each other in int8 mode.
+        """
+        amax = np.abs(rows).max(axis=1)
+        scales = np.where(amax > 0.0, amax / 127.0, 1.0).astype(self._fp_dtype)
+        q = np.clip(np.rint(rows / scales[:, None]), -127, 127).astype(np.int8)
+        return q, scales
+
+    def _dequant(self, q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+        """Dequantise int8 rows back to the logical float dtype."""
+        out = q.astype(self._fp_dtype) * scales[..., None]
+        self.stats.dequant_bytes += out.nbytes
+        return out
 
     def _ensure_writable(self, entry: _Session, idx: int) -> None:
         """Copy-on-write guard: give the session a private copy of page ``idx``.
@@ -514,6 +703,9 @@ class PagedKVArena:
         new_page = self._take_page()
         self._k[:, new_page] = self._k[:, page]
         self._v[:, new_page] = self._v[:, page]
+        if self._k_scale is not None:
+            self._k_scale[:, new_page] = self._k_scale[:, page]
+            self._v_scale[:, new_page] = self._v_scale[:, page]
         entry.pages[idx] = new_page
         self.stats.cow_copies += 1
         self._release_page(page)
@@ -568,6 +760,12 @@ class PagedKVArena:
             grown = np.zeros(shape, dtype=self._k.dtype)
             grown[:, :old_n] = getattr(self, attr)
             setattr(self, attr, grown)
+        if self._k_scale is not None:
+            scale_shape = (self.n_layers, new_n, self.page_size)
+            for attr in ("_k_scale", "_v_scale"):
+                grown = np.zeros(scale_shape, dtype=self._fp_dtype)
+                grown[:, :old_n] = getattr(self, attr)
+                setattr(self, attr, grown)
         self._free.extend(range(new_n - 1, old_n - 1, -1))
         self.stats.pool_grows += 1
         self.stats.n_pages = new_n
@@ -592,6 +790,100 @@ class PagedKVArena:
         self.stats.prefix_evictions += 1
         return True
 
+    # -- snapshot preemption ---------------------------------------------------
+
+    def snapshot_session(self, session_id: int) -> KVSnapshot:
+        """Copy a session's KV off-arena and free its live pages.
+
+        The snapshot-preemption entry point: the session stays open (its id,
+        page-table slot and write cursors survive, zeroed) but holds no pages
+        afterwards, so the arena capacity a preempted victim occupied is
+        available to more urgent work immediately.  Pages someone else also
+        reads -- shared with another session or backing a registered prefix
+        -- are recorded *by reference*: the session's refcount transfers to
+        the snapshot (the page stays ``pages_in_use`` and cannot be evicted),
+        so shared prefix heads cost no copy at all.  Exclusively-owned pages
+        are copied out in pool dtype (int8 snapshots are ~8x smaller) and
+        freed.  :meth:`restore_session` reverses the whole operation
+        bit-identically; a snapshot that will never be restored must be
+        released through :meth:`discard_snapshot`.
+        """
+        entry = self._sessions[session_id]
+        entries: List[tuple] = []
+        copied_bytes = 0
+        for page in entry.pages:
+            if self._ref.get(page, 1) > 1 or page in self._page_key:
+                # shared read-only page: keep it resident, move our refcount
+                # onto the snapshot instead of dropping it
+                entries.append(("ref", page))
+                continue
+            k = self._k[:, page].copy()
+            v = self._v[:, page].copy()
+            if self._k_scale is not None:
+                k_scale = self._k_scale[:, page].copy()
+                v_scale = self._v_scale[:, page].copy()
+                copied_bytes += k_scale.nbytes + v_scale.nbytes
+            else:
+                k_scale = None
+                v_scale = None
+            copied_bytes += k.nbytes + v.nbytes
+            entries.append(("data", k, v, k_scale, v_scale))
+            self._release_page(page)
+        lengths = entry.lengths.copy()
+        entry.pages = []
+        entry.lengths[:] = 0
+        self._invalidate(session_id)
+        self.stats.snapshots_taken += 1
+        self.stats.snapshot_bytes += copied_bytes
+        return KVSnapshot(lengths=lengths, entries=entries)
+
+    def restore_session(self, session_id: int, snapshot: KVSnapshot) -> None:
+        """Fault a snapshot's pages back into an empty session, in place.
+
+        Referenced pages re-attach directly (the refcount the snapshot held
+        transfers back to the session); copied pages fault fresh pages and
+        write the rows -- and, in int8 mode, their scales -- bit-identically.
+        No forward pass and no append happens: ``tokens_appended`` is
+        untouched, which is exactly the re-prefill compute a snapshot resume
+        saves.  The snapshot is consumed (its entries are cleared); restoring
+        requires the session to hold no rows, and exhausting ``max_pages``
+        raises like any other allocation.
+        """
+        entry = self._sessions[session_id]
+        if entry.pages or entry.lengths.any():
+            raise RuntimeError(
+                f"restore_session requires an empty session; session "
+                f"{session_id} still holds {len(entry.pages)} pages"
+            )
+        for e in snapshot.entries:
+            if e[0] == "ref":
+                entry.pages.append(e[1])
+                continue
+            _, k, v, k_scale, v_scale = e
+            page = self._take_page()
+            self._k[:, page] = k
+            self._v[:, page] = v
+            if k_scale is not None:
+                self._k_scale[:, page] = k_scale
+                self._v_scale[:, page] = v_scale
+            entry.pages.append(page)
+        entry.lengths[:] = snapshot.lengths
+        snapshot.entries = []
+        self._invalidate(session_id)
+        self.stats.snapshots_restored += 1
+
+    def discard_snapshot(self, snapshot: KVSnapshot) -> None:
+        """Release a snapshot that will never be restored (cancel/fail paths).
+
+        Drops the page references the snapshot pinned -- each page parks
+        idle-cached or returns to the free list exactly as if the session had
+        released it -- and clears the off-arena data.  Idempotent.
+        """
+        entries, snapshot.entries = snapshot.entries, []
+        for e in entries:
+            if e[0] == "ref":
+                self._release_page(e[1])
+
     # -- truncation (KVCache.clear support) ------------------------------------
 
     def clear_layer(self, session_id: int, layer: int) -> None:
@@ -604,24 +896,38 @@ class PagedKVArena:
 
     # -- materialisation -------------------------------------------------------
 
-    def _session_rows(self, pool: np.ndarray, session_id: int, layer: int) -> np.ndarray:
+    def _session_rows(
+        self,
+        pool: np.ndarray,
+        scale: Optional[np.ndarray],
+        session_id: int,
+        layer: int,
+    ) -> np.ndarray:
         entry = self._sessions[session_id]
         length = int(entry.lengths[layer])
         if length == 0:
-            return np.empty((0, self.hidden_size), dtype=pool.dtype)
+            return np.empty((0, self.hidden_size), dtype=self._fp_dtype)
         ps = self.page_size
         pages = np.asarray(entry.pages[: -(-length // ps)], dtype=np.int64)
         rows = pool[layer, pages].reshape(-1, self.hidden_size)[:length]
+        # copy traffic is counted in pool bytes (what actually moved); int8
+        # dequantisation additionally reports the float bytes it produced
         self.stats.view_bytes_copied += rows.nbytes
+        if scale is not None:
+            rows = self._dequant(rows, scale[layer, pages].reshape(-1)[:length])
         return rows
 
     def session_keys(self, session_id: int, layer: int) -> np.ndarray:
-        """Contiguous ``(seq_len, hidden)`` copy of one session's keys."""
-        return self._session_rows(self._k, session_id, layer)
+        """Contiguous ``(seq_len, hidden)`` copy of one session's keys.
+
+        Always in the logical float dtype: int8 pools dequantise on the way
+        out, so attention consumers never see quantised storage.
+        """
+        return self._session_rows(self._k, self._k_scale, session_id, layer)
 
     def session_values(self, session_id: int, layer: int) -> np.ndarray:
         """Contiguous ``(seq_len, hidden)`` copy of one session's values."""
-        return self._session_rows(self._v, session_id, layer)
+        return self._session_rows(self._v, self._v_scale, session_id, layer)
 
     def gather_batch(
         self, layer: int, session_ids: Sequence[int]
@@ -661,6 +967,7 @@ class PagedKVArena:
             delta = lengths - cache["lengths"]
             total_new = int(delta.sum())
             if total_new:
+                int8 = self._k_scale is not None
                 grew = np.flatnonzero(delta)
                 if int(delta.max()) == 1:
                     # the decode-step fast path: one new row per grown stream
@@ -670,8 +977,18 @@ class PagedKVArena:
                         dtype=np.int64,
                     )
                     slots = pos % ps
-                    cache["k"][grew, pos] = self._k[layer, pages, slots]
-                    cache["v"][grew, pos] = self._v[layer, pages, slots]
+                    if int8:
+                        cache["k"][grew, pos] = self._dequant(
+                            self._k[layer, pages, slots],
+                            self._k_scale[layer, pages, slots],
+                        )
+                        cache["v"][grew, pos] = self._dequant(
+                            self._v[layer, pages, slots],
+                            self._v_scale[layer, pages, slots],
+                        )
+                    else:
+                        cache["k"][grew, pos] = self._k[layer, pages, slots]
+                        cache["v"][grew, pos] = self._v[layer, pages, slots]
                 else:
                     for b in grew:
                         start, stop = int(cache["lengths"][b]), int(lengths[b])
@@ -681,12 +998,19 @@ class PagedKVArena:
                             page = entry.pages[pos // ps]
                             slot = pos % ps
                             n = min(ps - slot, stop - pos)
-                            cache["k"][b, pos : pos + n] = self._k[
-                                layer, page, slot : slot + n
-                            ]
-                            cache["v"][b, pos : pos + n] = self._v[
-                                layer, page, slot : slot + n
-                            ]
+                            k_rows = self._k[layer, page, slot : slot + n]
+                            v_rows = self._v[layer, page, slot : slot + n]
+                            if int8:
+                                k_rows = self._dequant(
+                                    k_rows,
+                                    self._k_scale[layer, page, slot : slot + n],
+                                )
+                                v_rows = self._dequant(
+                                    v_rows,
+                                    self._v_scale[layer, page, slot : slot + n],
+                                )
+                            cache["k"][b, pos : pos + n] = k_rows
+                            cache["v"][b, pos : pos + n] = v_rows
                             pos += n
                 self.stats.gather_bytes_copied += (
                     2 * total_new * self.hidden_size * itemsize
@@ -702,11 +1026,21 @@ class PagedKVArena:
             for b, entry in enumerate(entries):
                 used = entry.pages[: -(-int(lengths[b]) // ps)] if lengths[b] else []
                 table[b, : len(used)] = used
-            buf_k = np.zeros((len(sids), cap, self.hidden_size), dtype=self._k.dtype)
+            # batch buffers always hold logical float rows; int8 pools
+            # dequantise during the gather so attention reads plain floats
+            buf_k = np.zeros((len(sids), cap, self.hidden_size), dtype=self._fp_dtype)
             buf_v = np.zeros_like(buf_k)
             span = n_batch_pages * ps
-            buf_k[:, :span] = self._k[layer, table].reshape(len(sids), span, -1)
-            buf_v[:, :span] = self._v[layer, table].reshape(len(sids), span, -1)
+            if self._k_scale is not None:
+                buf_k[:, :span] = self._dequant(
+                    self._k[layer, table], self._k_scale[layer, table]
+                ).reshape(len(sids), span, -1)
+                buf_v[:, :span] = self._dequant(
+                    self._v[layer, table], self._v_scale[layer, table]
+                ).reshape(len(sids), span, -1)
+            else:
+                buf_k[:, :span] = self._k[layer, table].reshape(len(sids), span, -1)
+                buf_v[:, :span] = self._v[layer, table].reshape(len(sids), span, -1)
             cache = {
                 "sids": sids,
                 "lengths": lengths,

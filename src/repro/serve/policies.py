@@ -292,11 +292,21 @@ class ArenaBudgetAdmission(AdmissionPolicy):
         The probe keys on the session's replay stream -- prompt plus any
         tokens generated before a preemption -- which is exactly what a
         resume re-prefills.
+
+        A **snapshot-preempted** handle never re-prefills: its resume
+        faults back exactly the snapshot's *copied* pages and re-attaches
+        the *referenced* (shared) ones, so the charge is the lifetime
+        count minus the referenced pages -- not the novel-suffix formula,
+        whose prefix probe describes a replay that will never run (and
+        would double-discount pages the snapshot already pins).
         """
         pages = self._lifetime_pages(arena, handle)
+        session = handle.session
+        snapshot = getattr(session, "kv_snapshot", None)
+        if snapshot is not None:
+            return max(0, pages - snapshot.pages_referenced)
         if not getattr(engine, "prefix_cache", False):
             return pages
-        session = handle.session
         replay = list(session.request.prompt_tokens) + list(
             session.generated_tokens
         )

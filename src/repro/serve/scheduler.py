@@ -424,6 +424,28 @@ class ServingEngine:
         shared pages; see :class:`~repro.serve.kv_arena.PagedKVArena`).
         Tokens and per-request metrics are bit-identical to a cold run;
         requires an arena (``ValueError`` otherwise).
+    kv_dtype:
+        Storage dtype of the self-built arena's KV pool:
+        :class:`~repro.serve.kv_arena.KVDtype` (or its string value).
+        ``"int8"`` stores rows quantised with per-page per-layer scales
+        (~8x smaller pool and snapshots) and dequantises on every read;
+        ``None`` (the default) keeps full-precision rows, byte-identical
+        to an engine without the knob.  Requires the engine to resolve to
+        an arena, and conflicts with an externally built ``PagedKVArena``
+        (whose own constructor owns the dtype) -- ``ValueError`` either
+        way.
+    kv_snapshots:
+        Preempt and (trusted-)retry arena-backed sessions by **snapshot**:
+        the victim's KV pages are copied off-arena
+        (:meth:`~repro.serve.kv_arena.PagedKVArena.snapshot_session`,
+        shared prefix pages pinned by reference) and faulted back in on
+        resume with *zero* re-prefill forward passes, bit-identical in
+        tokens and metrics to an uninterrupted run.  Untrusted KV --
+        fault sites at or after the forward pass (``session.compute``,
+        ``session.append`` corruption) -- always falls back to the
+        re-prefill path.  Requires an arena (``ValueError`` otherwise);
+        off (the default) keeps the release-and-re-prefill behaviour
+        byte-identical to before the knob existed.
     admission:
         :class:`~repro.serve.policies.AdmissionPolicy` ordering and gating
         the ready queue; defaults to FIFO.
@@ -484,6 +506,8 @@ class ServingEngine:
         prefill_token_budget: Optional[int] = None,
         batched_prefill: Optional[bool] = None,
         prefix_cache: bool = False,
+        kv_dtype=None,
+        kv_snapshots: bool = False,
         faults=None,
         max_retries: int = 2,
         retry_backoff_steps: int = 1,
@@ -529,15 +553,35 @@ class ServingEngine:
                         64 if max_pages is None else min(64, max_pages)
                     ),
                     max_pages=max_pages,
+                    kv_dtype=kv_dtype,
                 )
         elif arena is False:
             arena = None
-        elif isinstance(arena, PagedKVArena) and max_pages is not None:
-            # the instance's own constructor set (or declined) the bound;
-            # accepting a second one here would silently shadow it
+        elif isinstance(arena, PagedKVArena):
+            if max_pages is not None:
+                # the instance's own constructor set (or declined) the bound;
+                # accepting a second one here would silently shadow it
+                raise ValueError(
+                    "max_pages conflicts with an externally built arena: "
+                    "configure max_pages on the PagedKVArena instance instead"
+                )
+            if kv_dtype is not None:
+                raise ValueError(
+                    "kv_dtype conflicts with an externally built arena: "
+                    "configure kv_dtype on the PagedKVArena instance instead"
+                )
+        if arena is None and kv_dtype is not None:
             raise ValueError(
-                "max_pages conflicts with an externally built arena: "
-                "configure max_pages on the PagedKVArena instance instead"
+                "kv_dtype was given but the engine resolved to no KV arena "
+                "(arena=False, or the model lacks forward_batch/config "
+                "support); the pool dtype would be silently unapplied -- "
+                "drop kv_dtype or run an arena-capable model"
+            )
+        if arena is None and kv_snapshots:
+            raise ValueError(
+                "kv_snapshots=True requires a KV arena; the engine resolved "
+                "to standalone caches (arena=False, or the model lacks "
+                "forward_batch/config support)"
             )
         if arena is None and max_pages is not None:
             raise ValueError(
@@ -554,6 +598,7 @@ class ServingEngine:
             )
         self.arena = arena
         self.prefix_cache = bool(prefix_cache)
+        self.kv_snapshots = bool(kv_snapshots)
         # -- failure model ----------------------------------------------------
         if faults is None:
             self._faults: Optional[FaultInjector] = None
@@ -669,7 +714,7 @@ class ServingEngine:
             # queued or preempted: it sits in one of the heaps (dropped
             # lazily on pop), so it leaves the live-queue count now
             self._queued_count -= 1
-        handle.session.cancel()
+        handle.session.cancel(self.current_step)
         handle.cancelled = True
         # cancellation is caller-initiated: no on_complete fires for it, and
         # the latch guarantees none ever will (exactly-once, including zero)
@@ -779,7 +824,18 @@ class ServingEngine:
         capped exponential backoff; the eventual resume re-prefills
         ``prompt + generated`` bit-identically.  A request out of retries
         resolves ``FAILED`` with a structured post-mortem.
+
+        With ``kv_snapshots`` on, faults from the schedule-time allocation
+        probe (``arena.alloc``) are the exception: they fire *before* the
+        fused forward touches any KV row, so the victim's pages are still
+        trusted and are snapshotted for a re-prefill-free resume.  Every
+        other site (``session.compute`` fires after the forward already
+        appended the step's KV rows; ``session.append`` is corruption
+        itself) keeps the discard-and-re-prefill path.
         """
+        trusted = (
+            self.kv_snapshots and getattr(exc, "site", None) == "arena.alloc"
+        )
         session = handle.session
         if self.watchdog is not None:
             self.watchdog.record_failure(step)
@@ -799,7 +855,7 @@ class ServingEngine:
             # a not-yet-admitted handle): it leaves the queue count now and
             # re-enters it below with its backoff arrival
             self._queued_count -= 1
-        session.retry(step)
+        session.retry(step, snapshot=trusted)
         self.admission.on_release(handle, self)
         delay = min(
             self.retry_backoff_cap,
@@ -997,7 +1053,10 @@ class ServingEngine:
                     h for h in pre_active if id(h) not in victim_ids
                 ] + admitted
             for victim in victims:
-                victim.session.preempt(step)
+                # a policy eviction leaves trusted KV behind: with snapshots
+                # on, the pages are copied off-arena instead of discarded and
+                # the eventual resume skips re-prefill entirely
+                victim.session.preempt(step, snapshot=self.kv_snapshots)
                 self._push_ready(victim)
                 self._queued_count += 1
                 # realized eviction: its KV is gone, so its reservation is
@@ -1022,7 +1081,17 @@ class ServingEngine:
             for handle in admitted:
                 session = handle.session
                 if session.state is SessionState.PREEMPTED:
-                    session.begin_resume(step)
+                    if session.has_snapshot:
+                        # page restore, zero re-prefill passes: an ACTIVE
+                        # session rejoins the decode batch this very step, a
+                        # mid-prefill one rejoins the chunk scan below with
+                        # its progress intact
+                        if session.resume_from_snapshot(step) is (
+                            SessionState.ACTIVE
+                        ):
+                            decoding.append(handle)
+                    else:
+                        session.begin_resume(step)
                 else:
                     session.begin_admit(step)
             prefilling = [
@@ -1085,6 +1154,14 @@ class ServingEngine:
                 session = handle.session
                 try:
                     if session.state is SessionState.PREEMPTED:
+                        if session.has_snapshot:
+                            # restore emits no token (pure page traffic);
+                            # the decode pass below produces this step's
+                            # token, matching the step-domain schedule of
+                            # the serial resume() it replaces
+                            session.resume_from_snapshot(step)
+                            decoding.append(handle)
+                            continue
                         token = session.resume(step)
                     else:
                         token = session.admit(step)
@@ -1107,7 +1184,10 @@ class ServingEngine:
                             )
                         except _FAULT_TYPES as exc:
                             self._quarantine(handle, exc, step)
-            recipients = admitted + decoding
+            admitted_ids = set(map(id, admitted))
+            recipients = admitted + [
+                h for h in decoding if id(h) not in admitted_ids
+            ]
 
         # commit-time faults the batch loops quarantined per-session: route
         # each to retry-with-backoff or FAILED before callbacks/retirement,

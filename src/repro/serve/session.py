@@ -43,6 +43,21 @@ only its generated tokens; :meth:`begin_resume` / :meth:`resume` re-prefill
 batched pipeline as admissions), so the emitted token stream is identical to
 an unpreempted run while the KV budget of the victim is available to more
 urgent requests in between.
+
+**Snapshot preemption** (``preempt(step, snapshot=True)``) is the cheap
+alternative for arena-backed sessions whose KV is *trusted*: instead of
+discarding the pages and re-prefilling O(context) rows on resume, the
+arena copies the session's rows into a compact off-arena
+:class:`~repro.serve.kv_arena.KVSnapshot` (shared prefix pages are pinned
+by reference, not copied) and frees the live pages.  The decoder object is
+*kept* -- its chunked-prefill progress, statistics and logits all survive
+-- so :meth:`resume_from_snapshot` just faults the pages back in and the
+stream continues with **zero** re-prefill forward passes, bit-identical in
+both tokens and metrics to an uninterrupted run.  :meth:`retry` accepts the
+same flag but only honours it for faults that fired *before* the forward
+pass touched the KV (the engine's trusted/untrusted routing); a corrupted
+or mid-compute fault always discards the pages and takes the re-prefill
+path.
 """
 
 from __future__ import annotations
@@ -276,6 +291,10 @@ class GenerationSession:
         # work of resume() is real served traffic and must stay visible)
         self._keys_attended_base = 0
         self._keys_total_base = 0
+        # snapshot preemption: the off-arena KVSnapshot of a snapshot-preempted
+        # session, plus the state (ACTIVE / PREFILLING) to re-enter on restore
+        self.kv_snapshot = None
+        self._resume_state: Optional[SessionState] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -317,6 +336,7 @@ class GenerationSession:
                 f"cannot resume session {self.request.request_id!r} "
                 f"({self.state.value})"
             )
+        self._abandon_snapshot()
         self.state = SessionState.PREFILLING
         self.decoder = IncrementalDecoder(
             self.model,
@@ -327,6 +347,80 @@ class GenerationSession:
         replay = [int(t) for t in self.request.prompt_tokens] + self.generated_tokens
         self.decoder.begin_prefill(replay)
 
+    # -- snapshot preemption ---------------------------------------------------
+
+    @property
+    def has_snapshot(self) -> bool:
+        """Whether the session holds an off-arena KV snapshot to restore."""
+        return self.kv_snapshot is not None
+
+    def _snapshot_kv(self) -> bool:
+        """Copy the live KV off-arena, keeping the decoder; False when unable.
+
+        Only arena-backed decoders can snapshot (standalone buffers have no
+        page table to copy out); on success the decoder keeps every bit of
+        its continuation state -- pending prefill chunks, statistics, logits
+        -- so the restored stream is indistinguishable from an uninterrupted
+        one, metrics included (no traffic is folded into the preemption
+        bases: nothing is recomputed).
+        """
+        if self.decoder is None:
+            return False
+        snap = self.decoder.snapshot_kv()
+        if snap is None:
+            return False
+        self.kv_snapshot = snap
+        self._resume_state = self.state
+        return True
+
+    def _discard_snapshot(self) -> None:
+        """Release a snapshot that will never be restored (idempotent)."""
+        if self.kv_snapshot is not None and self.arena is not None:
+            self.arena.discard_snapshot(self.kv_snapshot)
+        self.kv_snapshot = None
+        self._resume_state = None
+
+    def _abandon_snapshot(self) -> None:
+        """Fall back to re-prefill: drop the snapshot *and* the kept decoder.
+
+        Defensive twin of :meth:`_discard_snapshot` for the legacy resume
+        paths -- folding the kept decoder's traffic into the preemption bases
+        and releasing its (empty) arena session before a fresh decoder
+        replaces it, so arena books stay balanced even if a caller routes a
+        snapshot-preempted session through ``begin_resume``/``resume``.
+        """
+        if self.kv_snapshot is None:
+            return
+        self._discard_snapshot()
+        if self.decoder is not None:
+            self._keys_attended_base += self.decoder.keys_attended
+            self._keys_total_base += self.decoder.keys_total
+            self.decoder.release()
+            self.decoder = None
+
+    def resume_from_snapshot(self, step: int) -> SessionState:
+        """Fault the snapshot's pages back in; zero re-prefill forward passes.
+
+        The inverse of ``preempt(step, snapshot=True)``: the arena restores
+        the page table bit-identically and the session re-enters exactly the
+        state it was evicted from -- ``ACTIVE`` sessions rejoin the decode
+        batch this very step, ``PREFILLING`` sessions rejoin the chunked
+        pipeline with their progress intact.  Returns the re-entered state
+        so the engine can route the session.  Unlike :meth:`resume` no
+        token is emitted here: restoring is pure page traffic, and the next
+        fused pass produces the same token the uninterrupted schedule would
+        have.
+        """
+        if self.state is not SessionState.PREEMPTED or self.kv_snapshot is None:
+            raise RuntimeError(
+                f"cannot snapshot-resume session {self.request.request_id!r} "
+                f"({self.state.value}, snapshot={self.kv_snapshot is not None})"
+            )
+        snap, self.kv_snapshot = self.kv_snapshot, None
+        self.decoder.restore_kv(snap)
+        self.state, self._resume_state = self._resume_state, None
+        return self.state
+
     def decode_step(self, step: int) -> int:
         """Emit one more token (running a decode forward pass when needed)."""
         if self.state is not SessionState.ACTIVE:
@@ -336,7 +430,7 @@ class GenerationSession:
         self._pending_token = self.decoder.step(self.generated_tokens[-1])
         return self._commit(step)
 
-    def preempt(self, step: int) -> None:
+    def preempt(self, step: int, snapshot: bool = False) -> None:
         """Evict the session: release its KV storage, keep only the tokens.
 
         The arena pages (or standalone buffers) return to the pool right away;
@@ -345,12 +439,23 @@ class GenerationSession:
         mid-prefill* sessions can be preempted -- a prefilling victim's
         partial chunks are discarded with its pages (the KV rows *are* the
         progress) and the resume re-prefills from scratch.
+
+        With ``snapshot=True`` an arena-backed session instead copies its KV
+        rows off-arena (:meth:`~repro.serve.kv_arena.PagedKVArena.\
+snapshot_session`) and keeps its decoder, so
+        :meth:`resume_from_snapshot` skips re-prefill entirely; non-arena
+        sessions silently fall back to the release path.  Either way the
+        pages a policy wanted back are free when this returns.
         """
         if self.state not in (SessionState.ACTIVE, SessionState.PREFILLING):
             raise RuntimeError(
                 f"cannot preempt session {self.request.request_id!r} "
                 f"({self.state.value})"
             )
+        if snapshot and self._snapshot_kv():
+            self.state = SessionState.PREEMPTED
+            self.preemptions += 1
+            return
         self._keys_attended_base += self.decoder.keys_attended
         self._keys_total_base += self.decoder.keys_total
         self.decoder.release()
@@ -358,7 +463,7 @@ class GenerationSession:
         self.state = SessionState.PREEMPTED
         self.preemptions += 1
 
-    def retry(self, step: int) -> None:
+    def retry(self, step: int, snapshot: bool = False) -> None:
         """Requeue the session after a fault: release KV, keep the tokens.
 
         The fault-recovery twin of :meth:`preempt` -- the faulted decoder's
@@ -372,6 +477,14 @@ class GenerationSession:
         legal from ``QUEUED`` and ``PREEMPTED`` -- a schedule-time arena
         fault can hit a session admitted (or about to be resumed) this very
         step, before any forward ran.
+
+        ``snapshot=True`` asserts the session's KV is still *trusted* -- the
+        fault fired before any forward touched the pages (the engine only
+        passes it for ``arena.alloc`` faults) -- and takes the same
+        copy-out path as snapshot preemption so the requeued request resumes
+        without re-prefill.  A snapshot-preempted session retried while
+        waiting simply keeps its existing snapshot.  Untrusted faults
+        (``snapshot=False``) discard any snapshot along with the decoder.
         """
         if self.state not in (
             SessionState.QUEUED,
@@ -383,6 +496,20 @@ class GenerationSession:
                 f"cannot retry session {self.request.request_id!r} "
                 f"({self.state.value})"
             )
+        if snapshot:
+            if self.kv_snapshot is not None:
+                # already snapshot-preempted: the pages are off-arena, keep them
+                self.retries += 1
+                self.state = SessionState.PREEMPTED
+                return
+            if self.state in (
+                SessionState.PREFILLING,
+                SessionState.ACTIVE,
+            ) and self._snapshot_kv():
+                self.state = SessionState.PREEMPTED
+                self.retries += 1
+                return
+        self._discard_snapshot()
         if self.decoder is not None:
             self._keys_attended_base += self.decoder.keys_attended
             self._keys_total_base += self.decoder.keys_total
@@ -411,6 +538,7 @@ class GenerationSession:
                 f"cannot finalize session {self.request.request_id!r} "
                 f"({self.state.value})"
             )
+        self._discard_snapshot()
         if self.decoder is not None:
             self.decoder.release()
         self.state = state
@@ -429,6 +557,7 @@ class GenerationSession:
                 f"cannot resume session {self.request.request_id!r} "
                 f"({self.state.value})"
             )
+        self._abandon_snapshot()
         self.state = SessionState.ACTIVE
         self.decoder = IncrementalDecoder(
             self.model,
@@ -440,16 +569,26 @@ class GenerationSession:
         self._pending_token = self.decoder.prefill(replay)
         return self._commit(step)
 
-    def cancel(self) -> None:
-        """Abort the request and free its KV storage (terminal)."""
+    def cancel(self, step: Optional[int] = None) -> None:
+        """Abort the request and free its KV storage (terminal).
+
+        ``step`` stamps ``finished_step`` so a cancelled request has a
+        defined latency like every other terminal outcome (``finalize``
+        always stamps; cancellation used to silently drop out of the report
+        latency aggregates).  ``None`` keeps the legacy no-timestamp
+        behaviour for direct callers without a step clock.
+        """
         if self.is_terminal:
             raise RuntimeError(
                 f"cannot cancel session {self.request.request_id!r} "
                 f"({self.state.value})"
             )
+        self._discard_snapshot()
         if self.decoder is not None:
             self.decoder.release()
         self.state = SessionState.CANCELLED
+        if step is not None:
+            self.finished_step = step
 
     @classmethod
     def prefill_step_batch(
@@ -621,6 +760,7 @@ class GenerationSession:
         and generated tokens are unaffected; only further decoding becomes
         impossible.
         """
+        self._discard_snapshot()
         if self.decoder is not None:
             self.decoder.release()
 

@@ -24,7 +24,12 @@ import pytest
 from repro.core import BGPPConfig
 from repro.core.engine import EngineStats, MCBPEngine
 from repro.model import QuantizedTransformer, TransformerModel, get_model_config
-from repro.serve import ContinuousBatchingScheduler, Request, ServingReport
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    Request,
+    ServingEngine,
+    ServingReport,
+)
 from repro.sparsity.synthetic import gaussian_int_weights
 
 GOLDEN = {
@@ -173,6 +178,14 @@ ARENA_GOLDEN = {
     "cow_copies": 0,
     "cached_idle_pages": 0,
     "prefix_evictions": 0,
+    # snapshot preemption + KV dtype counters (PR 8): the fixed run uses
+    # neither kv_snapshots nor int8 pages, so the counters are structurally
+    # zero and the pool dtype reports full precision
+    "snapshots_taken": 0,
+    "snapshots_restored": 0,
+    "snapshot_bytes": 0,
+    "dequant_bytes": 0,
+    "kv_dtype": "fp",
     "occupancy": 0.0,
 }
 
@@ -267,6 +280,33 @@ class TestServingGolden:
     def test_policy_block_pinned(self, run):
         _, report = run
         assert report.policy == POLICY_GOLDEN
+
+    def test_cancelled_request_report_entry_pinned(self):
+        """PR 8 satellite: ``cancel()`` stamps ``finished_step``.
+
+        A cancelled request's handle must report a *defined* latency
+        (previously ``finished_step`` stayed ``None`` and the cancelled
+        handle's metrics claimed the request never finished).
+        """
+        model = QuantizedTransformer(
+            TransformerModel(get_model_config("tiny"), seed=0), seed=1
+        )
+        engine = ServingEngine(model, max_active=2, page_size=4)
+        victim = engine.submit(
+            Request("gc0", prompt_tokens=[1, 2, 3, 4, 5], max_new_tokens=6)
+        )
+        engine.submit(Request("gc1", prompt_tokens=[7, 8, 9], max_new_tokens=4))
+        engine.step()
+        engine.step()
+        assert engine.cancel(victim)
+        report = engine.run()
+        metrics = victim.metrics()
+        assert metrics.outcome == "cancelled"
+        assert metrics.finished_step == 2
+        assert metrics.latency_steps == 2
+        # cancelled rows stay out of the report's latency aggregates
+        assert all(r.request_id != "gc0" for r in report.requests)
+        assert report.policy["cancelled"] == 1
 
     def test_to_json_schema_and_round_trip(self, run):
         _, report = run
