@@ -15,7 +15,14 @@ Number = Union[int, float]
 
 
 def format_value(value: object, precision: int = 3) -> str:
-    """Render a cell: floats with fixed precision, everything else via str()."""
+    """Render a cell: floats with fixed precision, everything else via str().
+
+    ``None`` renders as ``-`` (a milestone/metric that never materialised,
+    e.g. the prefix-hit rate of a cache-less replica in a cluster table),
+    matching the report summaries' convention.
+    """
+    if value is None:
+        return "-"
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):

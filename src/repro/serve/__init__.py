@@ -55,10 +55,22 @@ hysteretic load shedding (:class:`LoadShedWatchdog`) and graceful
 state -- ``FINISHED`` / ``CANCELLED`` / ``FAILED`` / ``TIMED_OUT`` /
 ``SHED`` -- recorded as :attr:`RequestMetrics.outcome`.
 
+Above the single engine sits the fleet layer, :mod:`repro.serve.cluster`:
+a :class:`ClusterEngine` multiplexes one traffic stream across ``D``
+data-parallel :class:`ServingEngine` replicas behind a pluggable
+:class:`RoutingPolicy` (round-robin, least-loaded, prefix-affinity), with
+session affinity, deterministic replica failover (health-window tripping,
+queued-backlog re-routing, cooldown recovery) and per-replica fault streams
+split from one seed; :class:`ClusterReport` aggregates the per-replica
+reports into fleet-wide percentiles, a load-imbalance coefficient and
+prefix-hit locality.  ``D=1`` with round-robin is bit-identical to a bare
+engine.
+
 See ``src/repro/serve/README.md`` for the API guide, the failure model and
 how to write a custom policy.
 """
 
+from .cluster import ClusterEngine, ClusterHandle, ClusterReport, Replica
 from .faults import (
     FAULT_SITES,
     FailureInfo,
@@ -80,10 +92,15 @@ from .policies import (
     DeadlinePolicy,
     FCFSPolicy,
     FIFOAdmission,
+    LeastLoadedRouting,
+    PrefixAffinityRouting,
     PriorityAdmission,
     PriorityPolicy,
+    RoundRobinRouting,
+    RoutingPolicy,
     SchedulingPolicy,
     make_policies,
+    make_routing,
 )
 from .scheduler import (
     ContinuousBatchingScheduler,
@@ -99,6 +116,9 @@ __all__ = [
     "AgingPriorityAdmission",
     "ArenaBudgetAdmission",
     "ArenaStats",
+    "ClusterEngine",
+    "ClusterHandle",
+    "ClusterReport",
     "ContinuousBatchingScheduler",
     "DeadlineAdmission",
     "DeadlinePolicy",
@@ -114,13 +134,18 @@ __all__ = [
     "InjectedCallbackError",
     "KVDtype",
     "KVSnapshot",
+    "LeastLoadedRouting",
     "LoadShedWatchdog",
     "PagedKVArena",
+    "PrefixAffinityRouting",
     "PriorityAdmission",
     "PriorityPolicy",
+    "Replica",
     "Request",
     "RequestHandle",
     "RequestMetrics",
+    "RoundRobinRouting",
+    "RoutingPolicy",
     "SchedulingPolicy",
     "ServingEngine",
     "ServingReport",
@@ -129,4 +154,5 @@ __all__ = [
     "TERMINAL_STATES",
     "TransientArenaFault",
     "make_policies",
+    "make_routing",
 ]

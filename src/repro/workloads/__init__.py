@@ -16,6 +16,7 @@ from .traffic import (
     poisson_arrival_steps,
     sample_priorities,
     sample_requests,
+    split_streams,
     trace_arrival_steps,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "poisson_arrival_steps",
     "sample_priorities",
     "sample_requests",
+    "split_streams",
     "trace_arrival_steps",
 ]
