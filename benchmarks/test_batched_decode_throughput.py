@@ -79,6 +79,7 @@ from repro.serve import (
     PagedKVArena,
     Request,
     ServingEngine,
+    SpeculationConfig,
     make_policies,
 )
 from repro.workloads import sample_requests
@@ -162,6 +163,21 @@ BALANCE_REQUESTS = 24
 BALANCE_SEED = 37
 LOCALITY_GROUPS = 4
 LOCALITY_SEED = 41
+
+# speculative grid (PR 10): the fused draft-then-verify decode path.  The
+# friendly trace uses cyclic motif prompts the (self-extending) n-gram
+# drafter echoes almost perfectly, so spec-on must finish the same token
+# volume in >= SPEC_STEP_GATE x fewer steps (step-domain, deterministic --
+# the gate never rides a timer; measured ~1.4x at k=8).  The adversarial
+# trace is uniform-random prompts where drafts rarely survive: with the
+# adaptive throttle, spec-on must take no MORE steps than spec-off (the
+# committed row of every chunk always emits, so speculation can only tie
+# or win in the step domain).
+SPEC_K = 8
+SPEC_REQUESTS = 6
+SPEC_DECODE = 48
+SPEC_STEP_GATE = 1.3
+SPEC_SEED = 43
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -1068,6 +1084,99 @@ def _cluster_block(model):
     }
 
 
+def _speculative_block(model):
+    """Spec-on vs spec-off over a friendly and an adversarial decode trace.
+
+    Both legs assert bit-identical token streams (the speculative contract)
+    and report step-domain throughput, which is deterministic -- wall
+    tokens/sec is recorded for the trajectory only.  The spec-off leg also
+    anchors ``speculative=None`` against a default-constructed engine:
+    whole-report JSON equality, so the knob is provably a no-op when off.
+    """
+    config = model.config
+    vocab = config.vocab_size
+    # cyclic motif prompts: greedy tiny-model decode settles into the
+    # prompt's cycle, which the self-extending n-gram drafter echoes
+    friendly = [
+        Request(
+            f"f{i}",
+            prompt_tokens=[3 + i, 17, 5, 9 + i] * 3,
+            max_new_tokens=SPEC_DECODE,
+            arrival_step=0,
+        )
+        for i in range(SPEC_REQUESTS)
+    ]
+    rng = np.random.default_rng(SPEC_SEED)
+    adversarial = [
+        Request(
+            f"a{i}",
+            prompt_tokens=rng.integers(0, vocab, size=12).tolist(),
+            max_new_tokens=16,
+            arrival_step=0,
+        )
+        for i in range(SPEC_REQUESTS)
+    ]
+
+    def _run(requests, speculative):
+        engine = ServingEngine(
+            model, max_active=SPEC_REQUESTS, speculative=speculative
+        )
+        handles = engine.submit_many(requests)
+        start = time.perf_counter()
+        report = engine.run()
+        elapsed = time.perf_counter() - start
+        tokens = {h.request_id: h.generated_tokens for h in handles}
+        return report, tokens, elapsed
+
+    spec_config = SpeculationConfig(k=SPEC_K, adaptive=True)
+    rows = {}
+    for trace_name, requests in (
+        ("friendly", friendly),
+        ("adversarial", adversarial),
+    ):
+        off_report, off_tokens, off_elapsed = _run(requests, None)
+        on_report, on_tokens, on_elapsed = _run(requests, spec_config)
+        assert on_tokens == off_tokens, (
+            f"speculative decode changed tokens on the {trace_name} trace"
+        )
+        assert on_report.arena["pages_in_use"] == 0, (
+            f"speculative {trace_name} run leaked arena pages"
+        )
+        policy = on_report.to_json()["policy"]
+        rows[trace_name] = {
+            "steps_off": off_report.steps,
+            "steps_on": on_report.steps,
+            "tokens_per_step_off": off_report.throughput_tokens_per_step,
+            "tokens_per_step_on": on_report.throughput_tokens_per_step,
+            "step_speedup": off_report.steps / on_report.steps,
+            "wall_tokens_per_sec_off": off_report.total_tokens / off_elapsed,
+            "wall_tokens_per_sec_on": on_report.total_tokens / on_elapsed,
+            "draft_proposed": policy["draft_proposed"],
+            "draft_accepted": policy["draft_accepted"],
+            "mean_accepted_len": policy["mean_accepted_len"],
+            "rows_rolled_back": on_report.arena["rows_rolled_back"],
+        }
+
+    # the off-default anchor: an engine built with speculative=None is the
+    # default engine, whole report included
+    explicit_off, _, _ = _run(friendly, None)
+    default_engine = ServingEngine(model, max_active=SPEC_REQUESTS)
+    default_engine.submit_many(friendly)
+    default_report = default_engine.run()
+    assert explicit_off.to_json() == default_report.to_json(), (
+        "speculative=None diverged from the default engine"
+    )
+
+    return {
+        "batch": SPEC_REQUESTS,
+        "k": SPEC_K,
+        "adaptive": True,
+        "drafter": "ngram(3)",
+        "friendly": rows["friendly"],
+        "adversarial": rows["adversarial"],
+    }
+
+
 def test_batched_decode_throughput(benchmark):
     model = _build_model()
     engine = MCBPEngine(group_size=4, weight_bits=8)
@@ -1160,6 +1269,9 @@ def test_batched_decode_throughput(benchmark):
     # cluster grid: rr fleet scaling at D in CLUSTER_SIZES + routing duels
     cluster_block = _cluster_block(model)
 
+    # speculative grid: fused draft-then-verify decode, friendly + adversarial
+    speculative_block = _speculative_block(model)
+
     payload = {
         "benchmark": "batched_decode_throughput",
         "model": config.name,
@@ -1182,6 +1294,7 @@ def test_batched_decode_throughput(benchmark):
         "faults": faults_block,
         "snapshot": snapshot_block,
         "cluster": cluster_block,
+        "speculative": speculative_block,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -1276,6 +1389,15 @@ def test_batched_decode_throughput(benchmark):
         "affinity prefix hits "
         f"{cluster_block['affinity_vs_rr']['affinity']['prefix_hits']} vs rr "
         f"{cluster_block['affinity_vs_rr']['rr']['prefix_hits']}"
+        + "\nspeculative (k=8 ngram): friendly "
+        f"{speculative_block['friendly']['steps_off']} -> "
+        f"{speculative_block['friendly']['steps_on']} steps "
+        f"({speculative_block['friendly']['step_speedup']:.2f}x, accept "
+        f"{speculative_block['friendly']['draft_accepted']}/"
+        f"{speculative_block['friendly']['draft_proposed']})   adversarial "
+        f"{speculative_block['adversarial']['steps_off']} -> "
+        f"{speculative_block['adversarial']['steps_on']} steps "
+        f"({speculative_block['adversarial']['step_speedup']:.2f}x)"
         + f"\nBSTC decodes: {engine.codec.decode_calls} "
         f"(= {n_matrices} weight matrices)\nreport -> {BENCH_PATH.name}",
     )
@@ -1411,6 +1533,24 @@ def test_batched_decode_throughput(benchmark):
             f"{row['least_loaded_imbalance']:.3f} vs "
             f"{row['rr_load_imbalance']:.3f}"
         )
+    # CI gate: speculative decode must multiply step-domain throughput on
+    # the acceptance-friendly trace (same token volume in >= 1.3x fewer
+    # steps; deterministic counters, never a timer) and must not take more
+    # steps than plain decode on the adversarial trace under the adaptive
+    # throttle.  Token bit-identity asserts inside _speculative_block.
+    assert speculative_block["friendly"]["step_speedup"] >= SPEC_STEP_GATE, (
+        "speculative decode missed the friendly-trace step gate: "
+        f"{speculative_block['friendly']['step_speedup']:.2f}x "
+        f"(gate {SPEC_STEP_GATE}x)"
+    )
+    assert (
+        speculative_block["adversarial"]["steps_on"]
+        <= speculative_block["adversarial"]["steps_off"]
+    ), (
+        "adaptive speculation regressed the adversarial trace: "
+        f"{speculative_block['adversarial']['steps_on']} vs "
+        f"{speculative_block['adversarial']['steps_off']} steps"
+    )
     # CI gate: prefix-affinity routing must land strictly more prefix-cache
     # hits than round-robin on the shared-prefix trace -- hashing the prompt
     # head keeps each prefix group on one replica, so the fleet pays the

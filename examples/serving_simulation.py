@@ -34,6 +34,7 @@ Usage::
     python examples/serving_simulation.py --prefix-cache     # KV reuse demo
     python examples/serving_simulation.py --chaos            # fault demo
     python examples/serving_simulation.py --snapshot         # KV snapshots
+    python examples/serving_simulation.py --speculative 4    # draft + verify
     python examples/serving_simulation.py --json             # report JSON
     python examples/serving_simulation.py --cluster 2 \
         --routing affinity                                   # replica fleet
@@ -45,7 +46,11 @@ per-request retries, failure containment, bit-identical recovered tokens and
 balanced arena books.  ``--json`` emits only the scheduler report of step 1
 in the JSON schema shared with
 ``benchmarks/test_batched_decode_throughput.py`` (``ServingReport.to_json``),
-so scripts can consume either artefact uniformly.  ``--cluster N`` runs one
+so scripts can consume either artefact uniformly.  ``--speculative K``
+decodes one mixed (cyclic + random prompt) stream plainly and again with up
+to ``K`` drafted tokens verified per session per fused step, printing the
+step-count win, the draft acceptance rate and the arena rollback books --
+tokens stay bit-identical.  ``--cluster N`` runs one
 shared-prefix traffic stream over N data-parallel engine replicas behind the
 ``--routing`` policy (round-robin / least-loaded / prefix-affinity), with
 seeded chaos driving replica failover -- queued work re-routes to healthy
@@ -71,6 +76,7 @@ from repro.serve import (
     FaultPlan,
     Request,
     ServingEngine,
+    SpeculationConfig,
     make_policies,
 )
 from repro.workloads import sample_requests
@@ -378,6 +384,60 @@ def chaos_demo(n_requests: int = 16, max_active: int = 8) -> None:
           "commit, the victim re-prefills after backoff, bit-identical)")
 
 
+def speculative_demo(k: int = 4, n_requests: int = 6, decode_len: int = 32) -> None:
+    """Speculative multi-token decode: draft, verify fused, accept or roll back."""
+    config = get_model_config("tiny")
+    model = QuantizedTransformer(TransformerModel(config, seed=0), seed=1)
+    rng = np.random.default_rng(43)
+    # half the trace is cyclic motif prompts (the n-gram drafter's best
+    # case), half is random prompts (its worst case, where the adaptive
+    # throttle backs off) -- both must decode identically with spec on
+    requests = []
+    for i in range(n_requests):
+        if i % 2 == 0:
+            prompt = [3 + i, 17, 5, 9 + i] * 3
+        else:
+            prompt = rng.integers(0, config.vocab_size, size=12).tolist()
+        requests.append(
+            Request(
+                f"spec{i:02d}",
+                prompt_tokens=prompt,
+                max_new_tokens=decode_len,
+                arrival_step=0,
+            )
+        )
+
+    def run(speculative):
+        serving = ServingEngine(
+            model, max_active=n_requests, speculative=speculative
+        )
+        handles = serving.submit_many(requests)
+        report = serving.run()
+        return report, [h.generated_tokens for h in handles]
+
+    plain_report, plain_tokens = run(speculative=None)
+    spec_report, spec_tokens = run(SpeculationConfig(k=k, adaptive=True))
+    assert spec_tokens == plain_tokens, "speculation must not change tokens"
+    policy = spec_report.to_json()["policy"]
+    arena = spec_report.arena
+    print(f"\n--- speculative decode: {n_requests} requests, k={k}, "
+          f"ngram drafter, adaptive throttle ---")
+    print(f"tokens              : bit-identical with speculation off and on")
+    print(f"steps               : {plain_report.steps} plain -> "
+          f"{spec_report.steps} speculative "
+          f"({plain_report.steps / spec_report.steps:.2f}x fewer, "
+          f"{spec_report.throughput_tokens_per_step:.2f} tok/step)")
+    print(f"drafts              : {policy['draft_accepted']}/"
+          f"{policy['draft_proposed']} accepted "
+          f"(mean run {policy['mean_accepted_len']:.2f} tokens/spec step)")
+    print(f"arena rollback      : {arena['draft_rows_appended']} draft rows "
+          f"appended, {arena['rows_rolled_back']} rolled back, "
+          f"{arena['pages_in_use']} pages in use at drain")
+    print("(each decoding session verifies its committed token plus up to k "
+          "drafts as one ragged chunk in the fused pass; the first mismatch "
+          "emits the corrected token and truncates the rejected KV rows)")
+
+
 def cluster_demo(
     n_replicas: int = 2, routing: str = "affinity", n_requests: int = 24
 ) -> None:
@@ -533,6 +593,13 @@ def main() -> None:
         "trace with kv_snapshots off vs on, plus int8 KV pages)",
     )
     parser.add_argument(
+        "--speculative",
+        type=int,
+        metavar="K",
+        help="run only the speculative-decode demo: draft up to K tokens "
+        "per session, verify in the fused pass, bit-identical tokens",
+    )
+    parser.add_argument(
         "--cluster",
         type=int,
         metavar="N",
@@ -562,6 +629,9 @@ def main() -> None:
     if args.snapshot:
         snapshot_demo()
         return
+    if args.speculative is not None:
+        speculative_demo(k=args.speculative)
+        return
     if args.cluster is not None:
         cluster_demo(n_replicas=args.cluster, routing=args.routing)
         return
@@ -571,6 +641,7 @@ def main() -> None:
     prefix_cache_demo()
     chaos_demo()
     snapshot_demo()
+    speculative_demo()
     cluster_demo()
     steady_state_cache_demo()
     analytical_breakdown()

@@ -168,6 +168,20 @@ class IncrementalDecoder:
             raise RuntimeError("restore_kv requires an arena-backed decoder")
         self.arena.restore_session(self.caches[0].arena_session, snapshot)
 
+    def truncate_kv(self, n_rows: int) -> None:
+        """Pop the last ``n_rows`` KV rows from every layer (arena streams).
+
+        The speculative-decode rollback hook: rejected draft tokens'
+        already-appended rows are discarded through
+        :meth:`~repro.serve.kv_arena.PagedKVArena.truncate_session`, so the
+        stream's KV is bit-identical to one that never saw the drafts.
+        """
+        if int(n_rows) == 0:
+            return
+        if self.arena is None or not self.caches:
+            raise RuntimeError("truncate_kv requires an arena-backed decoder")
+        self.arena.truncate_session(self.caches[0].arena_session, int(n_rows))
+
     def verify_kv_rows(self, expected: int) -> None:
         """Integrity check: every layer must hold exactly ``expected`` KV rows.
 
@@ -294,7 +308,8 @@ class IncrementalDecoder:
         chunk_sizes: Sequence[int],
         decodes: Sequence["IncrementalDecoder"] = (),
         decode_tokens: Sequence[int] = (),
-    ) -> Tuple[List[Optional[int]], List[int]]:
+        draft_tokens: Optional[Sequence[Sequence[int]]] = None,
+    ) -> Tuple[List[Optional[int]], List]:
         """Advance a mixed batch: prefill chunks plus decode rows, one pass.
 
         ``prefills[i]`` (begun via :meth:`begin_prefill`) contributes its next
@@ -311,6 +326,24 @@ class IncrementalDecoder:
         ``j``'s next token.  All decoders must share one model exposing
         ``prefill_batch`` (and one predictor); the serving engine falls back
         to one-shot serial prefill for anything else.
+
+        **Speculative decode** (``draft_tokens`` given, one token list per
+        decode stream, empty lists allowed): stream ``j``'s chunk becomes
+        ``[decode_tokens[j]] + draft_tokens[j]`` -- the accepted token plus
+        up to ``k`` drafter proposals -- and the fused pass verifies all of
+        them at once.  The greedy accept rule then runs over the stream's
+        per-row logits: row ``i``'s argmax is always emitted (row 0 is
+        exactly the token one-token decode would produce); draft ``i+1`` is
+        accepted only while it *equals* that argmax, the first mismatch emits
+        the corrected token and stops, and a fully-accepted draft list emits
+        one bonus token from the final row.  Rejected drafts' KV rows are
+        popped via :meth:`truncate_kv`, so the stream's tokens **and** KV are
+        bit-identical to one-token decode -- the drafter only ever changes
+        how many verified tokens one pass yields.  In this mode
+        ``decode_tokens[j]`` in the return value is the *list* of emitted
+        tokens (length ``accepted + 1``) and speculative streams require
+        arena-backed decoders (rollback needs
+        :meth:`~repro.serve.kv_arena.PagedKVArena.truncate_session`).
         """
         prefills = list(prefills)
         decodes = list(decodes)
@@ -324,6 +357,13 @@ class IncrementalDecoder:
             raise ValueError(
                 f"got {len(decode_tokens)} tokens for {len(decodes)} decoders"
             )
+        drafts: Optional[List[List[int]]] = None
+        if draft_tokens is not None:
+            drafts = [[int(t) for t in d] for d in draft_tokens]
+            if len(drafts) != len(decodes):
+                raise ValueError(
+                    f"got {len(drafts)} draft lists for {len(decodes)} decoders"
+                )
         if not prefills and not decodes:
             return [], []
         everyone = prefills + decodes
@@ -348,18 +388,34 @@ class IncrementalDecoder:
             start = decoder._prefill_done
             chunks.append(decoder._prefill_pending[start : start + n])
             totals.append(len(decoder._prefill_pending))
-        for decoder, token in zip(decodes, decode_tokens):
+        for j, (decoder, token) in enumerate(zip(decodes, decode_tokens)):
             if decoder.prefill_stats is None:
                 raise RuntimeError("prefill must finish before decode steps")
-            chunks.append([token])
-            totals.append(decoder.seq_len + 1)
+            tail = drafts[j] if drafts is not None else []
+            chunks.append([token] + tail)
+            totals.append(decoder.seq_len + 1 + len(tail))
 
-        logits, stats_list = fused(
-            chunks,
-            [d.caches for d in everyone],
-            predictor=predictor,
-            total_lens=totals,
+        spec_idx = (
+            [len(prefills) + j for j, d in enumerate(drafts) if d]
+            if drafts is not None
+            else []
         )
+        if spec_idx:
+            logits, stats_list, row_logits = fused(
+                chunks,
+                [d.caches for d in everyone],
+                predictor=predictor,
+                total_lens=totals,
+                row_logits_for=spec_idx,
+            )
+        else:
+            logits, stats_list = fused(
+                chunks,
+                [d.caches for d in everyone],
+                predictor=predictor,
+                total_lens=totals,
+            )
+            row_logits = {}
 
         prefill_out: List[Optional[int]] = []
         for i, (decoder, n) in enumerate(zip(prefills, chunk_sizes)):
@@ -384,12 +440,38 @@ class IncrementalDecoder:
                 prefill_out.append(greedy_sample(logits[i]))
             else:
                 prefill_out.append(None)
-        decode_out: List[int] = []
+        decode_out: List = []
         for j, decoder in enumerate(decodes):
             b = len(prefills) + j
             decoder.decode_stats.append(stats_list[b])
-            decoder.last_logits = logits[b : b + 1]
-            decode_out.append(greedy_sample(logits[b]))
+            if drafts is None:
+                decoder.last_logits = logits[b : b + 1]
+                decode_out.append(greedy_sample(logits[b]))
+                continue
+            drafts_j = drafts[j]
+            if not drafts_j:
+                decoder.last_logits = logits[b : b + 1]
+                decode_out.append([greedy_sample(logits[b])])
+                continue
+            if decoder.arena is not None:
+                decoder.arena.stats.draft_rows_appended += len(drafts_j)
+            # greedy accept: row i's argmax is what one-token decode would
+            # emit at that position, so emitting it (and accepting drafts
+            # only while they match) reproduces the serial stream exactly
+            rows = row_logits[b]
+            out_tokens: List[int] = []
+            kept = 0
+            for i, d in enumerate(drafts_j):
+                t = int(np.argmax(rows[i]))
+                out_tokens.append(t)
+                if t != d:
+                    break
+                kept += 1
+            if kept == len(drafts_j):
+                out_tokens.append(int(np.argmax(rows[kept])))
+            decoder.truncate_kv(len(drafts_j) - kept)
+            decoder.last_logits = rows[kept : kept + 1]
+            decode_out.append(out_tokens)
         return prefill_out, decode_out
 
     def step(self, token: int) -> int:

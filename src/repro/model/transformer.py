@@ -388,6 +388,7 @@ class QuantizedTransformer:
         caches_list: Sequence[List[KVCache]],
         predictor: Optional[KeyPredictor] = None,
         total_lens: Optional[Sequence[int]] = None,
+        row_logits_for: Optional[Sequence[int]] = None,
     ) -> Tuple[np.ndarray, List[ForwardStats]]:
         """One fused pass over ``B`` ragged prompt chunks (and decode rows).
 
@@ -413,6 +414,14 @@ class QuantizedTransformer:
         Returns float logits ``(B, vocab)`` (one row per stream, the logits
         of that stream's **last chunk row**) and one :class:`ForwardStats`
         per stream covering only this chunk's rows.
+
+        ``row_logits_for`` names stream indices whose *per-row* logits the
+        caller needs -- the speculative verify pass samples one token after
+        every chunk row, not just the last.  When given, a third return value
+        is appended: ``{b: (row_counts[b], vocab) logits}`` for exactly those
+        streams, produced by one extra LM-head projection over the selected
+        rows (the LM head is row-local, so each row's logits equal what a
+        serial forward ending at that row would produce).
         """
         chunks = [np.asarray(c, dtype=np.int64).reshape(-1) for c in chunks]
         n_streams = len(chunks)
@@ -465,7 +474,22 @@ class QuantizedTransformer:
         # is row-local, so projecting just those B rows is exact
         last_rows = hidden[offsets[1:] - 1]
         logits = self._qlin_forward(self.lm_head, "lm_head", last_rows)
-        return logits, stats
+        if row_logits_for is None:
+            return logits, stats
+        sel = [int(b) for b in row_logits_for]
+        if not sel:
+            return logits, stats, {}
+        rows = np.concatenate(
+            [hidden[offsets[b] : offsets[b + 1]] for b in sel]
+        )
+        all_logits = self._qlin_forward(self.lm_head, "lm_head", rows)
+        row_logits: Dict[int, np.ndarray] = {}
+        pos = 0
+        for b in sel:
+            n = int(row_counts[b])
+            row_logits[b] = all_logits[pos : pos + n]
+            pos += n
+        return logits, stats, row_logits
 
     def _attention(
         self,

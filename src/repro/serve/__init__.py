@@ -55,6 +55,17 @@ hysteretic load shedding (:class:`LoadShedWatchdog`) and graceful
 state -- ``FINISHED`` / ``CANCELLED`` / ``FAILED`` / ``TIMED_OUT`` /
 ``SHED`` -- recorded as :attr:`RequestMetrics.outcome`.
 
+Decode throughput has its own opt-in lever, **speculative multi-token
+decode** (:mod:`repro.serve.speculative`): a deterministic
+:class:`Drafter` (:class:`NGramDrafter` prompt/history echo, or the
+:class:`TruncatedBitDrafter` built from the target's own truncated
+quantised LM head) proposes up to ``k`` tokens per decoding session, the
+engine verifies the ``1 + k`` rows inside the *same* fused batched pass,
+and the greedy accept rule plus arena rollback
+(:meth:`PagedKVArena.truncate_session`) keeps committed token streams
+bit-identical to one-token decode (``ServingEngine(speculative=...)``,
+adaptive per-session throttling via :class:`SpeculationConfig`).
+
 Above the single engine sits the fleet layer, :mod:`repro.serve.cluster`:
 a :class:`ClusterEngine` multiplexes one traffic stream across ``D``
 data-parallel :class:`ServingEngine` replicas behind a pluggable
@@ -85,6 +96,7 @@ from .faults import (
 )
 from .kv_arena import ArenaStats, KVDtype, KVSnapshot, PagedKVArena
 from .policies import (
+    AdaptivePrefillAdmission,
     AdmissionPolicy,
     AgingPriorityAdmission,
     ArenaBudgetAdmission,
@@ -110,8 +122,15 @@ from .scheduler import (
     ServingReport,
 )
 from .session import GenerationSession, Request, SessionState, TERMINAL_STATES
+from .speculative import (
+    Drafter,
+    NGramDrafter,
+    SpeculationConfig,
+    TruncatedBitDrafter,
+)
 
 __all__ = [
+    "AdaptivePrefillAdmission",
     "AdmissionPolicy",
     "AgingPriorityAdmission",
     "ArenaBudgetAdmission",
@@ -122,6 +141,7 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "DeadlineAdmission",
     "DeadlinePolicy",
+    "Drafter",
     "FAULT_SITES",
     "FCFSPolicy",
     "FIFOAdmission",
@@ -136,6 +156,7 @@ __all__ = [
     "KVSnapshot",
     "LeastLoadedRouting",
     "LoadShedWatchdog",
+    "NGramDrafter",
     "PagedKVArena",
     "PrefixAffinityRouting",
     "PriorityAdmission",
@@ -151,8 +172,10 @@ __all__ = [
     "ServingReport",
     "SessionComputeFault",
     "SessionState",
+    "SpeculationConfig",
     "TERMINAL_STATES",
     "TransientArenaFault",
+    "TruncatedBitDrafter",
     "make_policies",
     "make_routing",
 ]

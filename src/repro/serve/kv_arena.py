@@ -186,6 +186,14 @@ class ArenaStats:
     read paths (0 in fp mode).  A page a snapshot holds by reference still
     counts in ``pages_in_use`` (it is pinned, not freed); the conservation
     law above is unchanged by snapshot/restore cycles.
+
+    Speculative-decode accounting: ``draft_rows_appended`` counts KV token
+    rows appended for *draft* (not-yet-verified) positions and
+    ``rows_rolled_back`` the token rows popped by
+    :meth:`PagedKVArena.truncate_session` when verification rejects drafts.
+    On a fault-free run ``draft_rows_appended - rows_rolled_back`` equals the
+    total number of accepted draft tokens; both are zero with speculation
+    off.
     """
 
     page_size: int
@@ -213,6 +221,8 @@ class ArenaStats:
     snapshots_restored: int = 0
     snapshot_bytes: int = 0
     dequant_bytes: int = 0
+    rows_rolled_back: int = 0
+    draft_rows_appended: int = 0
     kv_dtype: str = KVDtype.FP.value
 
     @property
@@ -884,7 +894,43 @@ class PagedKVArena:
             if e[0] == "ref":
                 self._release_page(e[1])
 
-    # -- truncation (KVCache.clear support) ------------------------------------
+    # -- truncation (KVCache.clear + speculative rollback support) -------------
+
+    def truncate_session(self, session_id: int, n_rows: int) -> None:
+        """Pop the last ``n_rows`` token rows from *every* layer of a session.
+
+        The speculative-decode rollback primitive: after a fused verify pass
+        rejects some draft tokens, their already-appended KV rows are
+        discarded by moving every layer's write cursor back ``n_rows`` and
+        releasing any page that became empty (through :meth:`_release_page`,
+        so shared/registered pages park or decrement refs exactly like a
+        session teardown would).  Rows inside a kept partial page are *not*
+        zeroed -- lengths govern every read, and the next append overwrites
+        them -- and draft rows always live in pages the session owns
+        privately (copy-on-write fires before any append into a shared
+        page), so truncation can never scribble on a prefix-cache page or a
+        sibling session.  Requires every layer to hold at least ``n_rows``
+        rows.  ``n_rows == 0`` is a no-op.
+        """
+        n_rows = int(n_rows)
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+        if n_rows == 0:
+            return
+        entry = self._sessions[session_id]
+        if n_rows > int(entry.lengths.min()):
+            raise ValueError(
+                f"cannot truncate {n_rows} rows from session {session_id}: "
+                f"shortest layer holds {int(entry.lengths.min())}"
+            )
+        new_max = int(entry.lengths.max()) - n_rows
+        keep = -(-new_max // self.page_size) if new_max > 0 else 0
+        for page in reversed(entry.pages[keep:]):
+            self._release_page(page)
+        del entry.pages[keep:]
+        entry.lengths -= n_rows
+        self._invalidate(session_id)
+        self.stats.rows_rolled_back += n_rows
 
     def clear_layer(self, session_id: int, layer: int) -> None:
         """Reset one layer's write cursor; pages free once every layer is empty."""

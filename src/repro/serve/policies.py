@@ -58,6 +58,7 @@ __all__ = [
     "DeadlineAdmission",
     "ArenaBudgetAdmission",
     "AgingPriorityAdmission",
+    "AdaptivePrefillAdmission",
     "SchedulingPolicy",
     "FCFSPolicy",
     "PriorityPolicy",
@@ -438,6 +439,87 @@ class AgingPriorityAdmission(AdmissionPolicy):
 
     def admission_key_at(self, handle: "RequestHandle", step: int) -> Tuple:
         return (-self.effective_priority(handle, step),) + _arrival_key(handle)
+
+
+class AdaptivePrefillAdmission(AdmissionPolicy):
+    """Throttle chunked prefill while the fleet is decode-heavy.
+
+    Wraps an ``inner`` ordering policy (FIFO by default) and overrides only
+    :meth:`prefill_token_budget`: while at least ``decode_threshold`` of the
+    active handles are decoding (state ``ACTIVE``, past their prefill), the
+    step's prefill-row budget is clamped to ``throttled_budget`` rows, so
+    incoming prompts trickle in instead of stealing a decode-heavy step's
+    fused pass -- the inter-token latency of the established streams stays
+    flat and admissions still progress (the engine clamps the head's chunk
+    to >= 1 row, so no livelock).  Below the threshold the engine's own
+    ``prefill_token_budget`` knob applies unchanged; an engine whose active
+    set never crosses the threshold behaves bit-identically to the bare
+    ``inner`` policy.
+
+    Ordering, gating and lifecycle hooks all delegate to ``inner``
+    (mirroring :class:`ArenaBudgetAdmission`), so the throttle composes
+    with any ordering discipline -- including a dynamic one.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[AdmissionPolicy] = None,
+        throttled_budget: int = 4,
+        decode_threshold: float = 0.75,
+    ) -> None:
+        if throttled_budget < 1:
+            raise ValueError(
+                f"throttled_budget must be >= 1, got {throttled_budget}"
+            )
+        if not 0.0 < decode_threshold <= 1.0:
+            raise ValueError(
+                f"decode_threshold must be in (0, 1], got {decode_threshold}"
+            )
+        self.inner = inner if inner is not None else FIFOAdmission()
+        self.throttled_budget = int(throttled_budget)
+        self.decode_threshold = float(decode_threshold)
+
+    @property
+    def name(self) -> str:
+        return f"adaptive-prefill({self.inner.name})"
+
+    @property
+    def dynamic(self) -> bool:
+        return self.inner.dynamic
+
+    def admission_key(self, handle: "RequestHandle") -> Tuple:
+        return self.inner.admission_key(handle)
+
+    def admission_key_at(self, handle: "RequestHandle", step: int) -> Tuple:
+        return self.inner.admission_key_at(handle, step)
+
+    def may_admit(self, handle: "RequestHandle", engine: "ServingEngine") -> bool:
+        return self.inner.may_admit(handle, engine)
+
+    def check_submit(self, request, engine: "ServingEngine") -> None:
+        self.inner.check_submit(request, engine)
+
+    def on_admit(self, handle: "RequestHandle", engine: "ServingEngine") -> None:
+        self.inner.on_admit(handle, engine)
+
+    def on_release(self, handle: "RequestHandle", engine: "ServingEngine") -> None:
+        self.inner.on_release(handle, engine)
+
+    def prefill_token_budget(self, engine: "ServingEngine") -> Optional[int]:
+        from .session import SessionState
+
+        base = self.inner.prefill_token_budget(engine)
+        active = engine.active_handles
+        if not active:
+            return base
+        decoding = sum(
+            1 for h in active if h.session.state is SessionState.ACTIVE
+        )
+        if decoding / len(active) < self.decode_threshold:
+            return base
+        if base is None:
+            return self.throttled_budget
+        return min(base, self.throttled_budget)
 
 
 # -- scheduling ---------------------------------------------------------------

@@ -85,6 +85,7 @@ from .policies import (
     SchedulingPolicy,
 )
 from .session import GenerationSession, Request, RequestMetrics, SessionState
+from .speculative import NGramDrafter, _SessionThrottle, resolve_speculation
 
 __all__ = [
     "RequestMetrics",
@@ -446,6 +447,24 @@ class ServingEngine:
         re-prefill path.  Requires an arena (``ValueError`` otherwise);
         off (the default) keeps the release-and-re-prefill behaviour
         byte-identical to before the knob existed.
+    speculative:
+        Draft-then-verify multi-token decode
+        (:mod:`repro.serve.speculative`).  An ``int`` is shorthand for
+        ``SpeculationConfig(k=...)``; a full
+        :class:`~repro.serve.speculative.SpeculationConfig` picks the
+        drafter (:class:`~repro.serve.speculative.NGramDrafter` by
+        default) and the adaptive throttle.  Each step, every decoding
+        session's chunk grows from one committed token to ``1 + k_draft``
+        rows verified in the *same* fused batched pass; the greedy accept
+        rule commits the longest matching draft prefix (plus the
+        verifier's own next token) and
+        :meth:`~repro.serve.kv_arena.PagedKVArena.truncate_session` rolls
+        the rejected KV rows back, so the committed token stream is
+        **bit-identical** to one-token decode for any drafter and any
+        ``k``.  Requires the chunked batched prefill pipeline and a KV
+        arena (``ValueError`` otherwise); ``None`` (the default) keeps
+        plain one-token decode, byte-identical to an engine without the
+        knob.
     admission:
         :class:`~repro.serve.policies.AdmissionPolicy` ordering and gating
         the ready queue; defaults to FIFO.
@@ -508,6 +527,7 @@ class ServingEngine:
         prefix_cache: bool = False,
         kv_dtype=None,
         kv_snapshots: bool = False,
+        speculative=None,
         faults=None,
         max_retries: int = 2,
         retry_backoff_steps: int = 1,
@@ -596,6 +616,28 @@ class ServingEngine:
                 "to standalone caches (arena=False, or the model lacks "
                 "forward_batch/config support)"
             )
+        self._speculative = resolve_speculation(speculative)
+        if self._speculative is not None and not self.batched_prefill:
+            raise ValueError(
+                "speculative decode verifies draft rows through the chunked "
+                "batched prefill pipeline; the engine resolved to one-shot "
+                "prefill (fused=False, batched_prefill=False, or the model "
+                "lacks prefill_batch) -- drop speculative or enable the "
+                "fused batched path"
+            )
+        if self._speculative is not None and arena is None:
+            raise ValueError(
+                "speculative decode requires a KV arena (rejected draft "
+                "rows are rolled back via truncate_session); the engine "
+                "resolved to standalone caches (arena=False, or the model "
+                "lacks forward_batch/config support)"
+            )
+        if self._speculative is not None:
+            self._drafter = self._speculative.drafter or NGramDrafter()
+        else:
+            self._drafter = None
+        # per-request adaptive k controllers, dropped at terminal resolution
+        self._spec_state: Dict[str, _SessionThrottle] = {}
         self.arena = arena
         self.prefix_cache = bool(prefix_cache)
         self.kv_snapshots = bool(kv_snapshots)
@@ -721,6 +763,7 @@ class ServingEngine:
         # the latch guarantees none ever will (exactly-once, including zero)
         handle._complete_fired = True
         self._cancelled.append(handle)
+        self._spec_state.pop(handle.request_id, None)
         # whether it was active (holding a reservation) or still queued,
         # the admission policy must drop any page reservation right now --
         # a cancelled request can never consume the pages it was charged for
@@ -893,6 +936,7 @@ class ServingEngine:
         bucket.append(handle)
         self._terminal.append(handle)
         self.admission.on_release(handle, self)
+        self._spec_state.pop(handle.request_id, None)
         self._fire_complete(handle, step)
 
     def _quarantine(self, handle: RequestHandle, exc: Exception, step: int) -> None:
@@ -1047,9 +1091,52 @@ class ServingEngine:
         except Exception:
             self._contain_callback(handle, "on_complete")
 
+    def _build_drafts(self, decoding: List[RequestHandle]) -> List[List[int]]:
+        """One draft proposal list per decoding handle (throttled, clamped).
+
+        Each session's adaptive :class:`_SessionThrottle` sets this step's
+        draft budget (created on first decode step, ticked every step so
+        cooldowns expire deterministically), clamped so drafts never extend
+        past the request's remaining decode budget -- the committed row
+        already emits one token, so at most ``remaining - 1`` drafts could
+        ever be accepted.  ``last_spec_outcome`` is cleared here so the
+        post-step observe loop only folds in *this* step's accept outcome
+        (a quarantined commit leaves it ``None`` and the window untouched).
+        """
+        drafts: List[List[int]] = []
+        for handle in decoding:
+            session = handle.session
+            throttle = self._spec_state.get(handle.request_id)
+            if throttle is None:
+                throttle = _SessionThrottle(self._speculative)
+                self._spec_state[handle.request_id] = throttle
+            room = (
+                session.request.max_new_tokens
+                - len(session.generated_tokens)
+                - 1
+            )
+            k = min(throttle.next_k(), max(0, room))
+            if k <= 0:
+                proposal: List[int] = []
+            else:
+                history = (
+                    [int(t) for t in session.request.prompt_tokens]
+                    + session.generated_tokens
+                )
+                proposal = [int(t) for t in self._drafter.propose(history, k)][:k]
+            session.last_spec_outcome = None
+            drafts.append(proposal)
+        return drafts
+
     def step(self) -> Dict[str, int]:
-        """Advance one engine step; returns ``{request_id: emitted_token}``."""
-        emitted: Dict[str, int] = {}
+        """Advance one engine step; returns the tokens emitted per request.
+
+        With speculation off every value is the single ``int`` token the
+        request emitted this step; with ``speculative`` on, a decoding
+        session's value is the *list* of tokens its verified chunk committed
+        (prefilling sessions still emit a single ``int`` first token).
+        """
+        emitted: Dict[str, object] = {}
         step = self.current_step
 
         # timeout reaper first: a request past its hard bound must not take
@@ -1207,13 +1294,22 @@ class ServingEngine:
                 if budget is not None:
                     budget -= take
             prefill_rows = sum(chunk_sizes)
-            if chunked:
+            draft_lists: Optional[List[List[int]]] = None
+            if self._speculative is not None and decoding:
+                draft_lists = self._build_drafts(decoding)
+                if not any(draft_lists):
+                    # nothing proposed anywhere: plain one-token decode --
+                    # identical rows, no verify overhead, and pure-decode
+                    # steps keep the dedicated gather fast path below
+                    draft_lists = None
+            if chunked or draft_lists is not None:
                 emitted.update(
                     GenerationSession.prefill_step_batch(
                         [h.session for h in chunked],
                         chunk_sizes,
                         [h.session for h in decoding],
                         step,
+                        draft_tokens=draft_lists,
                     )
                 )
             elif decoding:
@@ -1224,6 +1320,22 @@ class ServingEngine:
                         [h.session for h in decoding], step
                     )
                 )
+            # fold this step's accept outcomes into the per-session
+            # throttles (quarantined commits left no outcome: a faulted
+            # step must not skew the acceptance window)
+            spec_proposed = spec_accepted = 0
+            if self._speculative is not None:
+                for handle in decoding:
+                    outcome = handle.session.last_spec_outcome
+                    if outcome is None:
+                        continue
+                    handle.session.last_spec_outcome = None
+                    proposed, accepted = outcome
+                    spec_proposed += proposed
+                    spec_accepted += accepted
+                    throttle = self._spec_state.get(handle.request_id)
+                    if throttle is not None:
+                        throttle.observe(proposed, accepted)
             recipients = chunked + decoding
         else:
             if self._faults is not None and self.arena is not None:
@@ -1275,8 +1387,13 @@ class ServingEngine:
             self._route_commit_faults(recipients, step)
 
         for handle in recipients:
-            if handle.request_id in emitted:
-                self._dispatch_token(handle, emitted[handle.request_id], step)
+            value = emitted.get(handle.request_id)
+            if value is None:
+                continue
+            # speculative decode commits a list per chunk; on_token still
+            # fires once per token, in commit order, same step timestamp
+            for token in value if isinstance(value, list) else (value,):
+                self._dispatch_token(handle, token, step)
 
         retired = 0
         for handle in list(self._active):
@@ -1286,12 +1403,15 @@ class ServingEngine:
                 self._finished.append(handle)
                 self._terminal.append(handle)
                 self.admission.on_release(handle, self)
+                self._spec_state.pop(handle.request_id, None)
                 retired += 1
                 self._fire_complete(handle, step)
 
         stats: Dict[str, int] = {
             "step": step,
-            "emitted": len(emitted),
+            "emitted": sum(
+                len(v) if isinstance(v, list) else 1 for v in emitted.values()
+            ),
             "admitted": len(admitted),
             "preempted": len(victims),
             "decoded": len(decoding),
@@ -1300,6 +1420,9 @@ class ServingEngine:
             "active": len(self._active),
             "queued": self.n_queued,
         }
+        if self._speculative is not None:
+            stats["draft_proposed"] = spec_proposed
+            stats["draft_accepted"] = spec_accepted
         if self.arena is not None:
             a = self.arena.stats
             stats["arena_pages_in_use"] = a.pages_in_use
@@ -1376,6 +1499,18 @@ class ServingEngine:
             "retries": sum(m.retries for m in metrics),
             "callback_errors": self._callback_errors,
         }
+        if self._speculative is not None:
+            # keys appear only when speculation is on, so a spec-off
+            # engine's policy block stays byte-identical to older readers
+            # (and the pinned golden); from_json tolerates both shapes
+            draft_proposed = sum(m.draft_proposed for m in metrics)
+            draft_accepted = sum(m.draft_accepted for m in metrics)
+            spec_steps = sum(m.spec_steps for m in metrics)
+            policy["draft_proposed"] = draft_proposed
+            policy["draft_accepted"] = draft_accepted
+            policy["mean_accepted_len"] = (
+                draft_accepted / spec_steps if spec_steps else 0.0
+            )
         return ServingReport(
             steps=self.current_step,
             max_concurrency=self._max_concurrency,

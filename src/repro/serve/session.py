@@ -201,6 +201,13 @@ class RequestMetrics:
     step properties return ``None`` instead of arithmetic on missing
     timestamps -- and all three new fields default to the fault-free values
     so pre-faults reports load (and old readers ignore the new keys).
+
+    Speculative decode (PR 10) adds ``draft_proposed`` / ``draft_accepted``
+    (drafter tokens verified / accepted over the request's lifetime) and
+    ``spec_steps`` (decode steps that carried at least one draft);
+    :attr:`mean_accepted_len` derives the request's mean accepted draft
+    length per speculative step.  All three default to zero, so
+    speculation-off runs and pre-speculation reports are unchanged.
     """
 
     request_id: str
@@ -219,6 +226,14 @@ class RequestMetrics:
     outcome: str = "finished"
     retries: int = 0
     failure: Optional[dict] = None
+    draft_proposed: int = 0
+    draft_accepted: int = 0
+    spec_steps: int = 0
+
+    @property
+    def mean_accepted_len(self) -> float:
+        """Mean accepted draft tokens per speculative decode step."""
+        return self.draft_accepted / self.spec_steps if self.spec_steps else 0.0
 
     @property
     def queue_delay_steps(self) -> Optional[int]:
@@ -295,6 +310,12 @@ class GenerationSession:
         # session, plus the state (ACTIVE / PREFILLING) to re-enter on restore
         self.kv_snapshot = None
         self._resume_state: Optional[SessionState] = None
+        # speculative decode: lifetime draft counters plus the most recent
+        # successful (proposed, accepted) pair for the engine's throttle
+        self.draft_proposed = 0
+        self.draft_accepted = 0
+        self.spec_steps = 0
+        self.last_spec_outcome: Optional[tuple] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -597,7 +618,8 @@ snapshot_session`) and keeps its decoder, so
         chunk_sizes: Sequence[int],
         decoding: Sequence["GenerationSession"],
         step: int,
-    ) -> Dict[str, int]:
+        draft_tokens: Optional[Sequence[Sequence[int]]] = None,
+    ) -> Dict[str, object]:
         """One mixed engine step: prefill chunks plus decode rows, one pass.
 
         ``prefilling[i]`` (in ``PREFILLING`` state) advances by
@@ -609,6 +631,13 @@ snapshot_session`) and keeps its decoder, so
         commits match :meth:`decode_step`.  Returns ``{request_id: token}``
         for every token emitted this step (mid-prefill sessions emit
         nothing).
+
+        ``draft_tokens`` (one proposal list per decoding session, empty
+        lists allowed) switches the decode rows to speculative draft-verify
+        chunks: each decoding session's emitted value becomes the *list* of
+        tokens the accept rule committed this step (see
+        :meth:`IncrementalDecoder.prefill_step_batch`), bit-identical as a
+        stream to the one-token path.
         """
         prefilling = list(prefilling)
         decoding = list(decoding)
@@ -629,17 +658,25 @@ snapshot_session`) and keeps its decoder, so
             chunk_sizes,
             [s.decoder for s in decoding],
             [s.generated_tokens[-1] for s in decoding],
+            draft_tokens=draft_tokens,
         )
-        emitted: Dict[str, int] = {}
+        emitted: Dict[str, object] = {}
         for session, token in zip(prefilling, prefill_tokens):
             if token is None:
                 continue  # chunks remain; the session keeps its slot
             session.state = SessionState.ACTIVE
             session._pending_token = token
             emitted.update(session._commit_contained(step))
-        for session, token in zip(decoding, decode_tokens):
-            session._pending_token = token
-            emitted.update(session._commit_contained(step))
+        for j, (session, token) in enumerate(zip(decoding, decode_tokens)):
+            if draft_tokens is None:
+                session._pending_token = token
+                emitted.update(session._commit_contained(step))
+            else:
+                emitted.update(
+                    session._commit_spec_contained(
+                        token, len(draft_tokens[j]), step
+                    )
+                )
         return emitted
 
     @staticmethod
@@ -690,7 +727,61 @@ snapshot_session`) and keeps its decoder, so
             self.last_fault = exc
             return {}
 
-    def _inject_and_verify(self, step: int) -> None:
+    def _commit_spec_contained(
+        self, tokens: List[int], proposed: int, step: int
+    ) -> Dict[str, List[int]]:
+        """Speculative twin of :meth:`_commit_contained`.
+
+        ``tokens`` is the verified emission list of one speculative decode
+        chunk (``accepted + 1`` tokens, the accept rule's output) and
+        ``proposed`` how many drafts were verified to get it.  Returns
+        ``{request_id: committed_tokens}`` on success (possibly shorter than
+        ``tokens`` when EOS or the decode budget lands mid-list), ``{}``
+        when quarantined -- a faulted step commits *nothing*, exactly like
+        the one-token path, so the retry re-prefills the fault-free prefix.
+        """
+        try:
+            return {self.request.request_id: self._commit_spec(tokens, proposed, step)}
+        except _FAULT_TYPES as exc:
+            self.last_fault = exc
+            return {}
+
+    def _commit_spec(self, tokens: List[int], proposed: int, step: int) -> List[int]:
+        """Commit a verified multi-token emission; returns the committed list.
+
+        Tokens land in order with the same EOS / ``max_new_tokens`` checks
+        :meth:`_commit` applies per token; the first terminal token stops the
+        commit and discards the rest of the list (their KV rows are freed
+        with the session at retirement).  All committed tokens carry this
+        step's timestamp -- one fused pass produced them.  Draft counters
+        and :attr:`last_spec_outcome` update only on success, so a
+        quarantined step never skews the acceptance window.
+        """
+        if self.fault_injector is not None:
+            self._inject_and_verify(step, extra_rows=len(tokens) - 1)
+        committed: List[int] = []
+        eos = self.request.eos_token
+        for token in tokens:
+            token = int(token)
+            self.generated_tokens.append(token)
+            committed.append(token)
+            if self.first_token_step is None:
+                self.first_token_step = step
+            if (eos is not None and token == eos) or (
+                len(self.generated_tokens) >= self.request.max_new_tokens
+            ):
+                self.state = SessionState.FINISHED
+                self.finished_step = step
+                break
+        accepted = len(tokens) - 1
+        if proposed > 0:
+            self.draft_proposed += int(proposed)
+            self.draft_accepted += accepted
+            self.spec_steps += 1
+        self.last_spec_outcome = (int(proposed), accepted)
+        return committed
+
+    def _inject_and_verify(self, step: int, extra_rows: int = 0) -> None:
         """Pre-commit fault gate (only reached with an injector installed).
 
         Order matters: the ``session.append`` corruption lands first (a
@@ -700,6 +791,11 @@ snapshot_session`) and keeps its decoder, so
         ``session.compute`` fault fires.  All three abort the commit before
         the pending token is accepted, so a quarantined session's
         ``generated_tokens`` stay exactly the fault-free prefix.
+
+        ``extra_rows`` is the count of *accepted draft* rows a speculative
+        commit left in the cache beyond the one-token-decode baseline
+        (rejected drafts were already truncated away), so the integrity
+        check stays exact under speculation.
         """
         injector = self.fault_injector
         rid = self.request.request_id
@@ -713,7 +809,9 @@ snapshot_session`) and keeps its decoder, so
             # there is nothing to catch otherwise, and skipping it keeps
             # append-less armed plans inside the benchmark's overhead gate.
             self.decoder.verify_kv_rows(
-                len(self.request.prompt_tokens) + len(self.generated_tokens)
+                len(self.request.prompt_tokens)
+                + len(self.generated_tokens)
+                + int(extra_rows)
             )
         if injector.fires("session.compute", rid, step):
             raise SessionComputeFault(
@@ -850,4 +948,7 @@ snapshot_session`) and keeps its decoder, so
             outcome=self._OUTCOMES[self.state],
             retries=self.retries,
             failure=self.failure,
+            draft_proposed=self.draft_proposed,
+            draft_accepted=self.draft_accepted,
+            spec_steps=self.spec_steps,
         )

@@ -1,0 +1,303 @@
+"""Speculative multi-token decode: drafters + per-session adaptive throttle.
+
+One scheduler step normally emits exactly one token per decoding session.
+Speculative decode breaks that ceiling without changing a single output
+token: a cheap, deterministic **drafter** proposes up to ``k`` continuation
+tokens per session, the engine packs each session's ``1 + k`` rows (the
+committed token plus the drafts) as one ragged chunk into the *existing*
+fused ``prefill_batch`` pass, and the greedy accept rule keeps a draft only
+while it equals the verifier's own argmax at that position.  The first
+mismatch emits the corrected token and rolls the rejected rows back out of
+the paged arena (:meth:`~repro.serve.kv_arena.PagedKVArena.truncate_session`),
+so the committed token stream -- and the KV it leaves behind -- is
+**bit-identical** to one-token decode for any drafter, any ``k`` and any
+batch composition.  A good drafter turns one fused pass into several
+committed tokens; a bad one costs only wasted verify rows, never
+correctness.
+
+Two drafters ship:
+
+* :class:`NGramDrafter` -- the zero-cost baseline: match the longest
+  trailing n-gram of the session's token history (prompt + generated)
+  against its own earlier occurrences and echo the continuation.  Strong on
+  repetitive/code-gen-like traces and on the token cycles greedy tiny
+  models fall into; proposes nothing when no n-gram repeats.
+* :class:`TruncatedBitDrafter` -- the paper-flavoured drafter: a one-layer
+  bigram head built from the *truncated* high-order bit planes of the
+  target's own quantised LM head (reusing the bound
+  :class:`~repro.core.engine.MCBPEngine`'s decoded planes when available),
+  iterated ``k`` times feeding its own proposals.  Models "run the same
+  weights at a fraction of the bit width" -- the MCBP take on a draft
+  model -- while staying deterministic and cheap (one ``(vocab, hidden)``
+  product per draft token).
+
+:class:`SpeculationConfig` carries the knobs; with ``adaptive=True`` the
+engine keeps one :class:`_SessionThrottle` per request that shrinks ``k``
+(down to proposing nothing, with a cooldown before re-probing) while the
+trailing acceptance rate is poor, so adversarial traces pay almost no
+verify overhead -- and since the committed row of every chunk always emits,
+speculation can never yield *fewer* tokens per step than one-token decode.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Drafter",
+    "NGramDrafter",
+    "SpeculationConfig",
+    "TruncatedBitDrafter",
+]
+
+
+class Drafter(ABC):
+    """Proposes up to ``k`` continuation tokens for one session's history.
+
+    ``history`` is the session's full committed token stream (prompt plus
+    generated tokens, in order); the return value is the drafter's guess at
+    the next tokens, most likely first, with ``len(result) <= k`` (shorter
+    -- including empty -- is always legal and simply verifies fewer rows).
+    Drafters must be **deterministic** pure functions of ``history``: the
+    engine's bit-replay guarantee (same trace + seed => same run) extends
+    through speculation only because proposals never depend on hidden
+    state, wall clock or randomness.  Correctness never depends on the
+    proposals at all -- the verify pass re-derives every committed token.
+    """
+
+    name = "drafter"
+
+    @abstractmethod
+    def propose(self, history: Sequence[int], k: int) -> List[int]:
+        """Up to ``k`` proposed continuation tokens of ``history``."""
+
+
+class NGramDrafter(Drafter):
+    """Zero-cost drafter: echo the continuation of a repeated n-gram.
+
+    Finds the longest trailing n-gram of ``history`` (``n`` down from
+    ``max_n``) that occurred earlier, takes the *most recent* earlier
+    occurrence, and proposes the tokens that followed it.  Repetitive
+    traces (code generation, templated text, the token cycles greedy
+    decoding settles into) accept nearly everything; random traces rarely
+    match and the drafter proposes nothing, costing zero verify rows.
+    """
+
+    def __init__(self, max_n: int = 3) -> None:
+        if max_n < 1:
+            raise ValueError(f"max_n must be >= 1, got {max_n}")
+        self.max_n = int(max_n)
+        self.name = f"ngram({self.max_n})"
+
+    def propose(self, history: Sequence[int], k: int) -> List[int]:
+        hist = [int(t) for t in history]
+        out: List[int] = []
+        # re-match after appending our own proposals: a continuation that
+        # runs off the end of history (e.g. the trailing period of a token
+        # cycle) extends itself instead of capping the draft at one period
+        while len(out) < int(k):
+            cont = self._match(hist, int(k) - len(out))
+            if not cont:
+                break
+            out.extend(cont)
+            hist.extend(cont)
+        return out
+
+    def _match(self, hist: List[int], k: int) -> List[int]:
+        """Continuation of the most recent earlier trailing-n-gram match."""
+        n_hist = len(hist)
+        if k <= 0 or n_hist < 2:
+            return []
+        for n in range(min(self.max_n, n_hist - 1), 0, -1):
+            tail = hist[n_hist - n :]
+            for start in range(n_hist - n - 1, -1, -1):
+                if hist[start : start + n] == tail:
+                    cont = hist[start + n : start + n + k]
+                    if cont:
+                        return cont
+        return []
+
+
+class TruncatedBitDrafter(Drafter):
+    """Truncated-bit bigram head over the target's own quantised LM head.
+
+    Keeps only the top ``bits`` of each ``weight_bits``-bit LM-head weight
+    (zeroing the low-order planes -- exactly the rows a bit-serial MCBP
+    engine would skip when stopping early) and predicts each next token as
+    the argmax of ``scale * (W_trunc @ q(norm(embed(token))))``: embed the
+    newest token, apply the model's final norm, quantise with the LM head's
+    calibrated activation parameters and project through the truncated
+    planes with the calibrated per-channel scales.  Iterating ``k`` times
+    on its own proposals yields a deterministic draft chain whose cost is
+    one ``(vocab, hidden)`` integer product per token -- no attention, no
+    KV, no decoder layers.  When the model has a bound
+    :class:`~repro.core.engine.MCBPEngine`, the integer planes are fetched
+    from its decoded-plane cache instead of re-materialising them.
+    """
+
+    def __init__(self, model, bits: int = 4) -> None:
+        weight_bits = int(getattr(model, "weight_bits", 8))
+        if not 1 <= int(bits) <= weight_bits:
+            raise ValueError(
+                f"bits must be in [1, {weight_bits}], got {bits}"
+            )
+        self.bits = int(bits)
+        self.name = f"truncated-bit({self.bits})"
+        lm_head = model.lm_head
+        engine = getattr(model, "engine", None)
+        if engine is not None:
+            prefix = getattr(model, "_engine_prefix", "")
+            wq = np.asarray(engine._decoded_weight(prefix + "lm_head"))
+        else:
+            wq = np.asarray(lm_head.weight_q)
+        # truncate to the high-order planes: for non-negative magnitudes a
+        # plain shift pair keeps the top bits; signs are preserved by
+        # truncating the magnitude
+        shift = weight_bits - self.bits
+        mag = np.abs(wq.astype(np.int64))
+        self._w = (np.sign(wq.astype(np.int64)) * ((mag >> shift) << shift)).astype(
+            np.float64
+        )
+        scale, _ = lm_head.folded_scale_bias()
+        self._scale = np.asarray(scale, dtype=np.float64).reshape(-1)
+        zero = float(np.asarray(lm_head.activation_params.zero_point))
+        self._bias = -self._scale * zero * self._w.sum(axis=1)
+        self._quantize = lm_head.quantize_input
+        self._embedding = model.model.embedding
+        self._norm = model.model.norm_fn
+        self._vocab = int(self._w.shape[0])
+
+    def _next(self, token: int) -> int:
+        hidden = self._norm(self._embedding(np.array([token], dtype=np.int64)))
+        xq = self._quantize(hidden.reshape(1, -1)).astype(np.float64)
+        logits = self._scale * (self._w @ xq[0]) + self._bias
+        return int(np.argmax(logits))
+
+    def propose(self, history: Sequence[int], k: int) -> List[int]:
+        if k <= 0 or not len(history):
+            return []
+        out: List[int] = []
+        token = int(history[-1])
+        for _ in range(int(k)):
+            if not 0 <= token < self._vocab:
+                break
+            token = self._next(token)
+            out.append(token)
+        return out
+
+
+@dataclass
+class SpeculationConfig:
+    """Knobs of the draft-then-verify decode path.
+
+    ``k`` bounds the drafts proposed per session per step; ``drafter``
+    defaults to :class:`NGramDrafter` when ``None``.  With ``adaptive=True``
+    each request gets a :class:`_SessionThrottle`: whenever a trailing
+    window of ``window`` speculative steps accepts less than ``low_rate``
+    of its proposals, the session's working ``k`` steps down (at zero the
+    session decodes plainly for ``cooldown_steps`` steps, then re-probes at
+    ``k = 1``); a window accepting at least ``high_rate`` steps it back up
+    toward ``k``.  All counters are integers driven only by accept
+    outcomes, so throttling is exactly reproducible.
+    """
+
+    k: int = 4
+    adaptive: bool = True
+    drafter: Optional[Drafter] = None
+    window: int = 8
+    low_rate: float = 0.2
+    high_rate: float = 0.6
+    cooldown_steps: int = 16
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 <= self.low_rate <= self.high_rate <= 1.0:
+            raise ValueError(
+                f"need 0 <= low_rate <= high_rate <= 1, got "
+                f"{self.low_rate} / {self.high_rate}"
+            )
+        if self.cooldown_steps < 1:
+            raise ValueError(
+                f"cooldown_steps must be >= 1, got {self.cooldown_steps}"
+            )
+
+
+class _SessionThrottle:
+    """Deterministic per-session k controller (see :class:`SpeculationConfig`)."""
+
+    __slots__ = ("config", "k_cur", "_proposed", "_accepted", "_steps", "_cooldown")
+
+    def __init__(self, config: SpeculationConfig) -> None:
+        self.config = config
+        self.k_cur = config.k
+        self._proposed = 0
+        self._accepted = 0
+        self._steps = 0
+        self._cooldown = 0
+
+    def next_k(self) -> int:
+        """Draft budget for this session's next step (ticks the cooldown)."""
+        if not self.config.adaptive:
+            return self.config.k
+        if self.k_cur == 0:
+            self._cooldown -= 1
+            if self._cooldown > 0:
+                return 0
+            self.k_cur = 1  # cooldown expired: probe again at the bottom
+            self._clear_window()
+        return self.k_cur
+
+    def observe(self, proposed: int, accepted: int) -> None:
+        """Fold one speculative step's accept outcome into the window."""
+        if not self.config.adaptive or proposed <= 0:
+            return
+        self._proposed += int(proposed)
+        self._accepted += int(accepted)
+        self._steps += 1
+        if self._steps < self.config.window:
+            return
+        rate = self._accepted / self._proposed
+        if rate < self.config.low_rate:
+            self.k_cur -= 1
+            if self.k_cur == 0:
+                self._cooldown = self.config.cooldown_steps
+            self._clear_window()
+        elif rate >= self.config.high_rate:
+            if self.k_cur < self.config.k:
+                self.k_cur += 1
+            self._clear_window()
+        else:
+            self._clear_window()
+
+    def _clear_window(self) -> None:
+        self._proposed = 0
+        self._accepted = 0
+        self._steps = 0
+
+
+def resolve_speculation(speculative) -> Optional[SpeculationConfig]:
+    """Normalise the engine's ``speculative=`` argument.
+
+    ``None`` keeps speculation off; an ``int`` is shorthand for
+    ``SpeculationConfig(k=...)``; a :class:`SpeculationConfig` passes
+    through.
+    """
+    if speculative is None:
+        return None
+    if isinstance(speculative, SpeculationConfig):
+        return speculative
+    if isinstance(speculative, (int, np.integer)) and not isinstance(
+        speculative, bool
+    ):
+        return SpeculationConfig(k=int(speculative))
+    raise TypeError(
+        f"speculative must be None, an int k, or a SpeculationConfig; "
+        f"got {type(speculative).__name__}"
+    )

@@ -185,6 +185,10 @@ ARENA_GOLDEN = {
     "snapshots_restored": 0,
     "snapshot_bytes": 0,
     "dequant_bytes": 0,
+    # speculative decode counters (PR 10): the fixed run never passes
+    # speculative=, so no draft rows are appended and none rolled back
+    "rows_rolled_back": 0,
+    "draft_rows_appended": 0,
     "kv_dtype": "fp",
     "occupancy": 0.0,
 }
